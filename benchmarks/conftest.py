@@ -1,0 +1,53 @@
+"""Shared helpers for the experiment benches.
+
+Each bench regenerates one experiment from DESIGN.md's per-experiment
+index (E1–E14), prints a human-readable table, and writes it to
+``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference stable
+artefacts.  Timing is secondary (pytest-benchmark records it); the tables
+carry the paper-shape comparisons.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def format_table(title: str, headers: "list[str]", rows: "list[list]") -> str:
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def report():
+    """``report(experiment_id, title, headers, rows, notes=...)`` —
+    print and persist one experiment table."""
+
+    def _report(
+        experiment_id: str,
+        title: str,
+        headers: "list[str]",
+        rows: "list[list]",
+        notes: str = "",
+    ) -> str:
+        text = format_table(f"[{experiment_id}] {title}", headers, rows)
+        if notes:
+            text += f"\n\n{notes}"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _report

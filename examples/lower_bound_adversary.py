@@ -1,0 +1,77 @@
+"""Playing against the Section 9 adversary: why ExpanderConn is hard.
+
+Builds the Claim 9.4 hard family — Ω(n) expanders sharing a vertex set
+with O(log n) edge multiplicity — and plays three query strategies against
+the Lemma 9.3 adversary, who answers "absent" for any still-possible
+bridge edge and thereby keeps the connectivity question open as long as a
+single family member survives.  The chained Theorem 5 bound
+(DT → approximate degree → MPC rounds) is printed at the end.
+
+Run:  python examples/lower_bound_adversary.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import theory
+from repro.lower_bound import (
+    AdversaryGame,
+    build_hard_family,
+    build_instance,
+    family_edge_strategy,
+    greedy_multiplicity_strategy,
+    play_until_resolved,
+    random_pair_strategy,
+    verify_promise,
+)
+
+
+def main(scale: str = "default") -> dict:
+    n = 128 if scale == "small" else 512
+    seed = 9
+
+    print(f"== Building the Claim 9.4 hard family on n = {n} vertices ==")
+    family = build_hard_family(n, 6, rng=seed)
+    print(f"members k          : {family.size}")
+    print(f"max edge multiplicity: {family.max_multiplicity} "
+          f"(log2 n = {np.log2(n):.1f})")
+    print(f"min member gap     : {family.min_gap():.3f} (all Ω(1) expanders)")
+    print(f"query floor k/mult : {family.query_lower_bound()}")
+
+    print("\n== Both promise instances are legitimate ==")
+    connected = build_instance(family, bridge_index=0, rng=seed)
+    disconnected = build_instance(family, bridge_index=None, rng=seed)
+    print(f"with bridge B_0    : connected={connected.is_connected}, "
+          f"promise ok={verify_promise(connected)}")
+    print(f"without any bridge : connected={disconnected.is_connected}, "
+          f"promise ok={verify_promise(disconnected)}")
+
+    print("\n== Query strategies vs the adversary ==")
+    results = {}
+    strategies = [
+        ("greedy (max-kill edge)", lambda: greedy_multiplicity_strategy()),
+        ("family-edge prober", lambda: family_edge_strategy(rng=seed)),
+        ("blind random pairs", lambda: random_pair_strategy(rng=seed)),
+    ]
+    for name, factory in strategies:
+        game = AdversaryGame.fresh(family)
+        cert = play_until_resolved(game, factory(), max_queries=10**7)
+        results[name] = cert["queries"]
+        print(f"  {name:<24} {cert['queries']:>7} queries "
+              f"(floor {cert['theoretical_minimum']})")
+
+    print("\n== Theorem 5: from queries to MPC rounds ==")
+    for s in (64, 1024):
+        rounds = theory.expander_conn_round_lower_bound(n, s)
+        print(f"  memory s = {s:<5}: rounds ≥ {rounds:.2f}  "
+              f"(chain: DT = Ω(n/log n) → deg̃ = DT^(1/6) → log_s)")
+    print(f"  EREW PRAM (Remark 9.5): ≥ {theory.pram_lower_bound_rounds(n):.1f} steps")
+    print("\nEven the optimal strategy cannot beat the k/multiplicity floor "
+          "— the 'full power' of MPC (n^Ω(1) memory) is necessary for the "
+          "paper's speedup, not an artifact.")
+    return results
+
+
+if __name__ == "__main__":
+    main()

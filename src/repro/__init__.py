@@ -1,0 +1,68 @@
+"""repro — a reproduction of *Massively Parallel Algorithms for Finding
+Well-Connected Components in Sparse Graphs* (Assadi, Sun, Weinstein;
+PODC 2019).
+
+Public API highlights
+---------------------
+
+* :func:`repro.core.mpc_connected_components` — the Theorem 4 pipeline:
+  components of a sparse graph in ``O(log log n + log(1/λ))`` MPC rounds
+  given a spectral-gap bound ``λ``.
+* :func:`repro.core.mpc_connected_components_adaptive` — Corollary 7.1,
+  no gap knowledge required.
+* :func:`repro.core.sublinear_connectivity` — Theorem 2: arbitrary graphs
+  with mildly sublinear memory, via AGM sketching.
+* :mod:`repro.mpc` — the round-accounting MPC simulator.
+* :mod:`repro.graph` — multigraphs, generators, spectra, walks.
+* :mod:`repro.products` / :mod:`repro.sketch` / :mod:`repro.baselines` /
+  :mod:`repro.lower_bound` — the substrates (expander products, linear
+  sketches, classical comparators, the Section 9 adversary).
+
+Quick start::
+
+    import repro
+    graph, truth = repro.graph.planted_expander_components([500, 800], 8, rng=0)
+    result = repro.core.mpc_connected_components(graph, spectral_gap_bound=0.2, rng=0)
+    print(result.component_count, "components in", result.rounds, "MPC rounds")
+"""
+
+from repro import (
+    analysis,
+    baselines,
+    core,
+    graph,
+    lower_bound,
+    mpc,
+    products,
+    sketch,
+    theory,
+)
+from repro.core import (
+    PipelineConfig,
+    mpc_connected_components,
+    mpc_connected_components_adaptive,
+    sublinear_connectivity,
+)
+from repro.graph import Graph
+from repro.mpc import MPCEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "graph",
+    "lower_bound",
+    "mpc",
+    "products",
+    "sketch",
+    "theory",
+    "Graph",
+    "MPCEngine",
+    "PipelineConfig",
+    "mpc_connected_components",
+    "mpc_connected_components_adaptive",
+    "sublinear_connectivity",
+    "__version__",
+]

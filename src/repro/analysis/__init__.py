@@ -1,0 +1,28 @@
+"""Analysis substrates: the paper's concise-range calculus, concentration
+bounds (Appendix A) and the balls-and-bins experiment (Appendix B)."""
+
+from repro.analysis.balls_bins import (
+    BallsBinsResult,
+    nonempty_bins_interval,
+    prop_b1_failure_bound,
+    throw_balls,
+)
+from repro.analysis.concentration import (
+    chernoff_multiplicative_bound,
+    chernoff_sample_bound,
+    hoeffding_bound,
+    mcdiarmid_bound,
+)
+from repro.analysis.intervals import Interval
+
+__all__ = [
+    "Interval",
+    "chernoff_multiplicative_bound",
+    "chernoff_sample_bound",
+    "hoeffding_bound",
+    "mcdiarmid_bound",
+    "BallsBinsResult",
+    "throw_balls",
+    "nonempty_bins_interval",
+    "prop_b1_failure_bound",
+]

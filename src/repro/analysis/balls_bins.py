@@ -1,0 +1,79 @@
+"""The balls-and-bins experiment of Appendix B (Proposition B.1).
+
+Throwing ``N`` balls into ``B`` bins, each bin chosen with probability in
+``J(1±ε)/BK`` and ``N ≤ εB``, the number ``X`` of non-empty bins satisfies
+
+    Pr( X ∉ J(1 ± 2ε) N K ) ≤ exp(-ε² N / 2).
+
+``GrowComponents`` leans on this (Claim 6.9) to argue that the contracted
+graph stays almost-regular: the "balls" are out-edges leaving a component and
+the "bins" are the other components.  This module provides the simulation and
+the bound so bench E10 can compare them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.intervals import Interval
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class BallsBinsResult:
+    """Outcome of one balls-and-bins trial."""
+
+    balls: int
+    bins: int
+    nonempty: int
+
+    @property
+    def ratio(self) -> float:
+        """Non-empty bins per ball (Prop. B.1 predicts ≈ 1 when N ≪ B)."""
+        return self.nonempty / self.balls
+
+
+def throw_balls(
+    balls: int,
+    bins: int,
+    *,
+    eps: float = 0.0,
+    rng=None,
+) -> BallsBinsResult:
+    """Throw ``balls`` balls into ``bins`` bins and count non-empty bins.
+
+    ``eps > 0`` perturbs the bin probabilities within ``J(1±ε)/BK`` (each bin
+    weight drawn uniformly from that range, then normalised), matching the
+    near-uniform regime of Proposition B.1.
+    """
+    balls = check_positive_int(balls, "balls")
+    bins = check_positive_int(bins, "bins")
+    eps = check_in_range(eps, "eps", 0.0, 1.0)
+    rng = ensure_rng(rng)
+
+    if eps == 0.0:
+        choices = rng.integers(0, bins, size=balls)
+    else:
+        weights = rng.uniform(1.0 - eps, 1.0 + eps, size=bins)
+        weights /= weights.sum()
+        choices = rng.choice(bins, size=balls, p=weights)
+    nonempty = int(np.unique(choices).size)
+    return BallsBinsResult(balls=balls, bins=bins, nonempty=nonempty)
+
+
+def nonempty_bins_interval(balls: int, eps: float) -> Interval:
+    """The interval ``J(1 ± 2ε) NK`` from Proposition B.1."""
+    balls = check_positive_int(balls, "balls")
+    eps = check_in_range(eps, "eps", 0.0, 1.0)
+    return Interval.one_pm(2.0 * eps) * balls
+
+
+def prop_b1_failure_bound(balls: int, eps: float) -> float:
+    """The failure probability ``exp(-ε² N / 2)`` from Proposition B.1."""
+    balls = check_positive_int(balls, "balls")
+    eps = check_in_range(eps, "eps", 0.0, 1.0)
+    return min(1.0, math.exp(-(eps**2) * balls / 2.0))

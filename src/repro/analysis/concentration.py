@@ -1,0 +1,63 @@
+"""Concentration inequalities used throughout the paper (Appendix A).
+
+These return *failure-probability upper bounds*; the benches and tests use
+them both to pick sample sizes and to check that empirical deviation
+frequencies stay below the stated bounds (Proposition A.1, A.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def chernoff_multiplicative_bound(expectation: float, eps: float) -> float:
+    """Proposition A.1: ``Pr(X ∉ J(1±ε)E[X]K) ≤ 2 exp(-ε² E[X] / 2)``.
+
+    ``X`` must be a sum of independent ``[0, 1]``-valued random variables
+    with mean ``expectation``.
+    """
+    if expectation < 0:
+        raise ValueError(f"expectation must be >= 0, got {expectation}")
+    eps = check_in_range(eps, "eps", 0.0, 1.0)
+    return min(1.0, 2.0 * math.exp(-(eps**2) * expectation / 2.0))
+
+
+def hoeffding_bound(n: int, t: float) -> float:
+    """Two-sided Hoeffding bound for n i.i.d. ``[0,1]`` variables:
+    ``Pr(|X̄ - E[X̄]| ≥ t) ≤ 2 exp(-2 n t²)``."""
+    n = check_positive_int(n, "n")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    return min(1.0, 2.0 * math.exp(-2.0 * n * t * t))
+
+
+def mcdiarmid_bound(n: int, lipschitz: float, t: float) -> float:
+    """Proposition A.2 (method of bounded differences):
+
+    ``Pr(|f(X) - E[f(X)]| > t) ≤ exp(-2 t² / (n d²))`` for an
+    ``d``-Lipschitz function of ``n`` independent variables.
+    """
+    n = check_positive_int(n, "n")
+    if lipschitz <= 0:
+        raise ValueError(f"lipschitz must be > 0, got {lipschitz}")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    return min(1.0, math.exp(-2.0 * t * t / (n * lipschitz * lipschitz)))
+
+
+def chernoff_sample_bound(eps: float, failure_probability: float) -> int:
+    """Smallest expectation ``μ`` such that the Proposition A.1 bound is
+    at most ``failure_probability`` for relative error ``eps``.
+
+    Used to pick oversampling factors: the paper's scaling factor
+    ``s = 10⁶ log n / ε²`` (Eq. 3) is exactly this computation with the
+    failure probability set to ``n^{-Θ(1)}``.
+    """
+    eps = check_in_range(eps, "eps", 1e-12, 1.0)
+    failure_probability = check_in_range(
+        failure_probability, "failure_probability", 1e-300, 1.0
+    )
+    mu = 2.0 * math.log(2.0 / failure_probability) / (eps**2)
+    return max(1, math.ceil(mu))

@@ -1,0 +1,161 @@
+"""The paper's concise range notation ``Jx ± δK`` as interval arithmetic.
+
+Section 2 of the paper defines ``Jx ± δK := [x - δ, x + δ]`` and extends it to
+numerical expressions ``E`` containing ``±`` operators: ``JEK := [E⁻, E⁺]``
+where the signs are chosen to minimise/maximise the expression.  For the
+expression forms the paper actually uses (products, quotients and powers of
+``(1 ± ε)``-style factors with positive magnitudes) this coincides with
+standard closed-interval arithmetic, e.g.
+
+>>> (Interval.pm(3, 2) ** 2) == Interval(1, 25)
+True
+>>> Interval.pm(2, 1) / Interval.pm(4, 2) == Interval(1/6, 3/2)
+True
+
+matching the worked examples ``J(3±2)²K = [1, 25]`` and
+``J(2±1)/(4±2)K = [1/6, 3/2]`` in the paper.
+
+The tests use :class:`Interval` to state lemma conclusions literally, e.g.
+Lemma 6.4's ``|S_i| ∈ J(1 ± 3ε)dK`` becomes
+``(Interval.one_pm(3 * eps) * d).contains(len(S_i))``.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from dataclasses import dataclass
+
+
+def _as_interval(value: "Interval | float") -> "Interval":
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, numbers.Real):
+        return Interval(float(value), float(value))
+    raise TypeError(f"cannot interpret {type(value).__name__} as an Interval")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[low, high]`` with arithmetic.
+
+    Immutable; all operators return new intervals.  Multiplication and
+    division use exact endpoint analysis (min/max over the four endpoint
+    products), so results are tight for interval operands (the dependency
+    problem inherent to interval arithmetic is the paper's intended
+    semantics: each ``±`` occurrence is resolved independently).
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.low > self.high:
+            raise ValueError(f"empty interval: low={self.low} > high={self.high}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def pm(center: float, delta: float) -> "Interval":
+        """The paper's ``Jcenter ± deltaK`` for ``delta >= 0``."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        return Interval(center - delta, center + delta)
+
+    @staticmethod
+    def one_pm(eps: float) -> "Interval":
+        """``J(1 ± eps)K``, the most common factor in the paper's bounds."""
+        return Interval.pm(1.0, eps)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(float(value), float(value))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def center(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: "float | Interval", *, slack: float = 0.0) -> bool:
+        """Whether ``value`` (a number or a whole interval) lies inside.
+
+        ``slack`` relaxes both endpoints multiplicatively by ``1 ± slack``
+        (useful in statistical tests where a claim holds w.h.p. only).
+        """
+        other = _as_interval(value)
+        low = self.low - slack * abs(self.low)
+        high = self.high + slack * abs(self.high)
+        return low <= other.low and other.high <= high
+
+    def intersects(self, other: "Interval | float") -> bool:
+        other = _as_interval(other)
+        return self.low <= other.high and other.low <= self.high
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        return Interval(self.low + other.low, self.high + other.high)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    def __sub__(self, other: "Interval | float") -> "Interval":
+        return self + (-_as_interval(other))
+
+    def __rsub__(self, other: float) -> "Interval":
+        return _as_interval(other) + (-self)
+
+    def __mul__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        products = (
+            self.low * other.low,
+            self.low * other.high,
+            self.high * other.low,
+            self.high * other.high,
+        )
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | float") -> "Interval":
+        other = _as_interval(other)
+        if other.low <= 0.0 <= other.high:
+            raise ZeroDivisionError(f"division by interval containing zero: {other}")
+        return self * Interval(1.0 / other.high, 1.0 / other.low)
+
+    def __rtruediv__(self, other: float) -> "Interval":
+        return _as_interval(other) / self
+
+    def __pow__(self, exponent: int) -> "Interval":
+        if isinstance(exponent, bool) or not isinstance(exponent, numbers.Integral):
+            raise TypeError("interval powers require a non-negative integer exponent")
+        if exponent < 0:
+            raise ValueError("interval powers require a non-negative exponent")
+        result = Interval.point(1.0)
+        for _ in range(int(exponent)):
+            result = result * self
+        return result
+
+    # -- misc ----------------------------------------------------------------
+
+    def union(self, other: "Interval | float") -> "Interval":
+        """Smallest interval containing both operands."""
+        other = _as_interval(other)
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def scale(self, factor: float) -> "Interval":
+        return self * factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval[{self.low:g}, {self.high:g}]"

@@ -1,0 +1,86 @@
+"""The paper's core contribution: the three-step connectivity pipeline."""
+
+from repro.core.bfs_tree import BroadcastResult, broadcast_components
+from repro.core.config import PipelineConfig, paper_constants
+from repro.core.grow import (
+    GrowResult,
+    PhaseTelemetry,
+    contract_batch,
+    grow_components,
+)
+from repro.core.layered import (
+    JumpTables,
+    SampledLayeredGraph,
+    build_jump_tables,
+    paths_from_starts,
+    sample_layered_graph,
+)
+from repro.core.leader_election import LeaderElectionResult, leader_election
+from repro.core.pipeline import (
+    AdaptiveIteration,
+    AdaptiveResult,
+    PipelineResult,
+    mpc_connected_components,
+    mpc_connected_components_adaptive,
+)
+from repro.core.random_graph_cc import RandomGraphCCResult, random_graph_components
+from repro.core.randomize import RandomizedGraph, randomize_components
+from repro.core.regularize import RegularizedGraph, regularize
+from repro.core.sublinear import (
+    SublinearConnResult,
+    degree_target,
+    sublinear_connectivity,
+    walk_budget,
+)
+from repro.core.walk_engine import (
+    WalkRun,
+    detect_independence,
+    direct_walk_targets,
+    independent_random_walks,
+    next_power_of_two,
+    simple_random_walk,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "paper_constants",
+    # step 1
+    "RegularizedGraph",
+    "regularize",
+    # walks / step 2
+    "SampledLayeredGraph",
+    "JumpTables",
+    "sample_layered_graph",
+    "build_jump_tables",
+    "paths_from_starts",
+    "WalkRun",
+    "simple_random_walk",
+    "detect_independence",
+    "independent_random_walks",
+    "direct_walk_targets",
+    "next_power_of_two",
+    "RandomizedGraph",
+    "randomize_components",
+    # step 3
+    "LeaderElectionResult",
+    "leader_election",
+    "GrowResult",
+    "PhaseTelemetry",
+    "contract_batch",
+    "grow_components",
+    "BroadcastResult",
+    "broadcast_components",
+    "RandomGraphCCResult",
+    "random_graph_components",
+    # pipeline
+    "PipelineResult",
+    "mpc_connected_components",
+    "AdaptiveIteration",
+    "AdaptiveResult",
+    "mpc_connected_components_adaptive",
+    # theorem 2
+    "SublinearConnResult",
+    "sublinear_connectivity",
+    "degree_target",
+    "walk_budget",
+]

@@ -1,0 +1,182 @@
+"""The layered graph ``G(G, t)`` of Definition 1 and its sampled subgraph.
+
+For a ``Δ``-regular graph ``G`` and walk length ``t``, the layered graph has
+vertex set ``V × [2t] × [t+1]`` — ``2t`` copies of every vertex in each of
+``t+1`` layers — with complete bipartite "bundles" of directed edges from
+``(u, i, j)`` to ``(v, *, j+1)`` for every edge ``(u, v)`` of ``G``.
+
+The *sampled* layered graph ``G_S`` keeps exactly one uniformly random
+outgoing edge per vertex (a random neighbour of ``v`` in ``G`` and a random
+copy index).  Because out-degrees are 1, each first-layer vertex ``α`` roots
+a unique path ``P_α`` whose projection onto ``G`` is a ``t``-step random
+walk; *vertex-disjoint* paths share no randomness, hence carry mutually
+independent walks (Observation 5.2).  The ``2t`` copies per layer are what
+makes disjointness likely: Lemma 5.3 shows each path started at the
+distinguished copies ``V₁* = {(v, 1, 1)}`` is disjoint from all the others
+with probability ≥ 1/2.
+
+Layered vertices are flattened to integers:
+``index(v, copy, layer) = layer · (n · 2t) + copy · n + v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class SampledLayeredGraph:
+    """A 1-out sample ``G_S`` of the layered graph ``G(G, t)``.
+
+    Attributes
+    ----------
+    n:
+        Vertices of the base graph.
+    t:
+        Walk length (a power of two so that pointer doubling lands exactly
+        on the last layer).
+    successor:
+        ``successor[idx]`` is the flattened index of the unique out-neighbour
+        of layered vertex ``idx`` (-1 on the last layer).
+    """
+
+    n: int
+    t: int
+    successor: np.ndarray
+
+    @property
+    def copies(self) -> int:
+        return 2 * self.t
+
+    @property
+    def layer_size(self) -> int:
+        return self.n * self.copies
+
+    @property
+    def vertex_count(self) -> int:
+        return self.layer_size * (self.t + 1)
+
+    # -- index helpers -----------------------------------------------------
+
+    def index(self, v: np.ndarray, copy: np.ndarray, layer: np.ndarray) -> np.ndarray:
+        return (
+            np.asarray(layer, dtype=np.int64) * self.layer_size
+            + np.asarray(copy, dtype=np.int64) * self.n
+            + np.asarray(v, dtype=np.int64)
+        )
+
+    def base_vertex(self, idx: np.ndarray) -> np.ndarray:
+        """``v(α)`` — project a layered vertex back to the base graph."""
+        return np.asarray(idx, dtype=np.int64) % self.n
+
+    def layer_of(self, idx: np.ndarray) -> np.ndarray:
+        return np.asarray(idx, dtype=np.int64) // self.layer_size
+
+    def distinguished_starts(self) -> np.ndarray:
+        """``V₁* = {(v, copy 0, layer 0)}`` — flattened indices ``0..n-1``."""
+        return np.arange(self.n, dtype=np.int64)
+
+
+def sample_layered_graph(graph: Graph, t: int, rng=None) -> SampledLayeredGraph:
+    """Sample ``G_S`` (step 1 of ``SimpleRandomWalk``).
+
+    ``graph`` must be regular (the paper's independence analysis, and the
+    memory bound O(Δ) per vertex, both require it).  ``t`` must be a power
+    of two — callers round up, which only walks past the mixing time.
+    """
+    t = check_positive_int(t, "t")
+    if not is_power_of_two(t):
+        raise ValueError(f"walk length t must be a power of two, got {t}")
+    if graph.n == 0:
+        raise ValueError("cannot sample walks on the empty graph")
+    if not graph.is_regular():
+        raise ValueError("sampled layered graph requires a regular base graph")
+    degree = graph.degree(0)
+    if degree == 0:
+        raise ValueError("base graph must have positive degree")
+    rng = ensure_rng(rng)
+
+    n = graph.n
+    copies = 2 * t
+    layer_size = n * copies
+    total = layer_size * (t + 1)
+
+    # Neighbour lookup matrix: row v lists the Δ neighbours of v.
+    neighbors = graph.heads.reshape(n, degree)
+
+    successor = np.full(total, -1, dtype=np.int64)
+    active = layer_size * t  # all vertices below the last layer
+    # For every (v, i, j), j <= t-1: pick a neighbour port and a copy.
+    ports = rng.integers(0, degree, size=active)
+    copy_choice = rng.integers(0, copies, size=active)
+    base = np.tile(np.arange(n, dtype=np.int64), copies * t)
+    layer = np.arange(active, dtype=np.int64) // layer_size
+    targets = neighbors[base, ports]
+    successor[:active] = (layer + 1) * layer_size + copy_choice * n + targets
+    return SampledLayeredGraph(n=n, t=t, successor=successor)
+
+
+@dataclass(frozen=True)
+class JumpTables:
+    """Pointer-doubling tables ``N_0 .. N_K`` over a sampled layered graph.
+
+    ``tables[k][idx]`` is the layered vertex ``2^k`` steps down the unique
+    path from ``idx`` (-1 if the path leaves the last layer).  ``K = log2 t``,
+    so ``tables[-1]`` maps layer-0 vertices to their walk endpoints.
+    """
+
+    t: int
+    tables: "list[np.ndarray]"
+
+    @property
+    def doubling_steps(self) -> int:
+        return len(self.tables) - 1
+
+
+def build_jump_tables(sampled: SampledLayeredGraph) -> JumpTables:
+    """Steps 2–3 of ``SimpleRandomWalk``: ``N_i(α) = N_{i-1}(N_{i-1}(α))``.
+
+    ``log2 t`` doubling iterations, each a parallel search in MPC
+    (Claim 5.5 proves ``N_{log t}`` reaches the path endpoint).
+    """
+    levels = int(np.log2(sampled.t))
+    tables = [sampled.successor]
+    current = sampled.successor
+    for _ in range(levels):
+        nxt = np.where(current >= 0, current, 0)
+        jumped = current[nxt]
+        jumped = np.where(current >= 0, jumped, -1)
+        tables.append(jumped)
+        current = jumped
+    return JumpTables(t=sampled.t, tables=tables)
+
+
+def paths_from_starts(
+    sampled: SampledLayeredGraph,
+    jumps: JumpTables,
+    starts: np.ndarray,
+) -> np.ndarray:
+    """All ``t+1`` layered vertices of each path ``P_α`` (the ``Mark``
+    procedure, vectorised).
+
+    Returns an ``(len(starts), t+1)`` matrix; column ``j`` holds the
+    distance-``j`` vertex.  Built by binary doubling: the distance range
+    ``[2^k, 2^{k+1})`` is the range ``[0, 2^k)`` shifted through ``N_k``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    path = starts[:, None]
+    for k in range(jumps.doubling_steps):
+        shifted = jumps.tables[k][path]
+        path = np.concatenate([path, shifted], axis=1)
+    endpoints = jumps.tables[-1][starts][:, None]
+    return np.concatenate([path, endpoints], axis=1)

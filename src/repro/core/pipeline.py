@@ -1,0 +1,295 @@
+"""The full Theorem 4 pipeline and the Corollary 7.1 adaptive variant.
+
+``mpc_connected_components`` chains the three transformations:
+
+1. **Regularize** (Lemma 4.1) — replacement product with expander clouds;
+2. **Randomize** (Lemma 5.1) — independent mixing-length walks turn every
+   component into a random graph, pre-split into fresh per-phase batches;
+3. **Random-graph connectivity** (Lemma 6.1) — quadratic leader election
+   (``GrowComponents``) plus the O(1)-diameter broadcast.
+
+Total rounds: ``O((1/δ)(log log n + log(1/λ)))`` — the regularization is
+O(1) sorts, the walk structure costs ``O(log T) = O(log log n + log(1/λ))``
+searches, growing costs ``O(log log n)`` phases, and the final broadcast
+O(1) levels.  A last *verification* pass contracts the original edges by
+the computed labels and broadcasts to stabilisation: with the paper's
+constants it is a no-op costing one sort; at library scale it doubles as
+the honest fallback, so the returned labels are always exactly the true
+components and any extra work is visible in the round count.
+
+``mpc_connected_components_adaptive`` implements Corollary 7.1: geometric
+gap guessing ``λ'_{j+1} = (λ'_j)^{1.1}`` with a growability check between
+iterations, for inputs whose spectral gap is unknown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bfs_tree import broadcast_components
+from repro.core.config import PipelineConfig
+from repro.core.grow import contract_batch
+from repro.core.random_graph_cc import RandomGraphCCResult, random_graph_components
+from repro.core.randomize import RandomizedGraph, randomize_components
+from repro.core.regularize import RegularizedGraph, regularize
+from repro.graph.components import canonical_labels
+from repro.graph.graph import Graph
+from repro.mpc.engine import MPCEngine
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything a bench needs from one pipeline execution."""
+
+    labels: np.ndarray
+    rounds: int
+    engine: MPCEngine
+    walk_length: int
+    phase_count: int
+    verify_rounds: int
+    regularized: "RegularizedGraph | None" = None
+    randomized: "RandomizedGraph | None" = None
+    cc: "RandomGraphCCResult | None" = None
+
+    @property
+    def component_count(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+def _finalize_against_graph(
+    graph: Graph,
+    labels: np.ndarray,
+    engine: MPCEngine,
+) -> "tuple[np.ndarray, int]":
+    """Contract ``graph`` by ``labels`` and broadcast to stabilisation.
+
+    Returns exact component labels and the number of broadcast rounds
+    (0 when the pipeline's labels were already maximal).
+    """
+    edges, _ = contract_batch(labels, graph.edges)
+    engine.charge_sort(graph.m, label="growability check")
+    if edges.shape[0] == 0:
+        return canonical_labels(labels), 0
+    k = int(labels.max()) + 1
+    result = broadcast_components(k, edges, engine=engine)
+    return canonical_labels(result.labels[labels]), result.rounds
+
+
+def mpc_connected_components(
+    graph: Graph,
+    spectral_gap_bound: float,
+    *,
+    config: "PipelineConfig | None" = None,
+    rng=None,
+    engine: "MPCEngine | None" = None,
+    walk_mode: str = "direct",
+    finalize: bool = True,
+) -> PipelineResult:
+    """Theorem 4: find all connected components of ``graph``, given a lower
+    bound on the spectral gap of each component.
+
+    Parameters
+    ----------
+    graph:
+        Input (sparse) undirected graph.
+    spectral_gap_bound:
+        The paper's ``λ ∈ (0, 1]``: a lower bound on ``λ₂`` of every
+        connected component.  Smaller bounds mean longer walks
+        (``T = O(log(n/γ)/λ)``) and more rounds.
+    config, rng, engine:
+        Tuning constants, randomness, and the accounting engine (a fresh
+        ``MPCEngine.for_delta`` is created from ``config.delta`` if absent).
+    walk_mode:
+        Passed to the randomization step ("direct" or "layered").
+    finalize:
+        Run the verification/fallback broadcast (always on for end users;
+        the adaptive variant disables it between guesses).
+    """
+    config = config or PipelineConfig()
+    spectral_gap_bound = check_in_range(
+        spectral_gap_bound, "spectral_gap_bound", 1e-12, 2.0
+    )
+    rng = ensure_rng(rng)
+    if engine is None:
+        engine = MPCEngine.for_delta(max(graph.n + graph.m, 2), config.delta)
+
+    if graph.m == 0:
+        # Every vertex is isolated: nothing to do.
+        labels = np.arange(graph.n, dtype=np.int64)
+        return PipelineResult(
+            labels=labels,
+            rounds=engine.rounds,
+            engine=engine,
+            walk_length=0,
+            phase_count=0,
+            verify_rounds=0,
+        )
+
+    with engine.phase("Step1-Regularize"):
+        reg = regularize(
+            graph, expander_degree=config.expander_degree, rng=rng, engine=engine
+        )
+    product_graph = reg.graph
+    n_product = product_graph.n
+
+    walk_length = config.walk_length(n_product, spectral_gap_bound)
+    phases = config.phase_count(n_product)
+    schedule = config.growth_schedule(n_product)
+
+    with engine.phase("Step2-Randomize"):
+        rand = randomize_components(
+            product_graph,
+            walk_length,
+            batches=phases,
+            batch_half_degree=config.batch_half_degree,
+            rng=rng,
+            engine=engine,
+            walk_mode=walk_mode,
+        )
+
+    with engine.phase("Step3-RandomGraphCC"):
+        cc = random_graph_components(
+            n_product,
+            rand.batches,
+            schedule,
+            rng,
+            engine=engine,
+            # finalize: run the broadcast to stabilisation (exactness);
+            # otherwise enforce the paper's O(1)-round budget (Claim 6.14)
+            # so oversized gap guesses visibly fail (Corollary 7.1).
+            broadcast_budget=None if finalize else config.broadcast_budget,
+        )
+
+    labels = reg.lift_labels(cc.labels)
+    verify_rounds = 0
+    if finalize:
+        with engine.phase("Verify"):
+            labels, verify_rounds = _finalize_against_graph(graph, labels, engine)
+
+    return PipelineResult(
+        labels=labels,
+        rounds=engine.rounds,
+        engine=engine,
+        walk_length=walk_length,
+        phase_count=phases,
+        verify_rounds=verify_rounds,
+        regularized=reg,
+        randomized=rand,
+        cc=cc,
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveIteration:
+    """Telemetry for one gap guess of Corollary 7.1."""
+
+    gap_guess: float
+    walk_length: int
+    rounds: int
+    finished_vertices: int
+    active_vertices: int
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    labels: np.ndarray
+    rounds: int
+    engine: MPCEngine
+    iterations: "list[AdaptiveIteration]"
+
+
+def mpc_connected_components_adaptive(
+    graph: Graph,
+    *,
+    config: "PipelineConfig | None" = None,
+    rng=None,
+    engine: "MPCEngine | None" = None,
+    initial_gap: float = 0.5,
+    gap_exponent: float = 1.1,
+    min_gap: "float | None" = None,
+    walk_mode: str = "direct",
+) -> AdaptiveResult:
+    """Corollary 7.1: components without knowing the spectral gap.
+
+    Runs the pipeline with guesses ``λ'_1 = 1/2``, ``λ'_{j+1} = (λ'_j)^{1.1}``
+    on the still-unfinished part of the graph.  After each run, a component
+    is *final* iff no input edge leaves it (the growability post-check,
+    one sort); others are retried with the smaller guess.  Components with
+    gap ``λ₂(G_i)`` finish once ``λ'_j ≤ λ₂(G_i)``, after
+    ``O(log log(1/λ₂(G_i)))`` guesses.
+    """
+    config = config or PipelineConfig()
+    rng = ensure_rng(rng)
+    if engine is None:
+        engine = MPCEngine.for_delta(max(graph.n + graph.m, 2), config.delta)
+    if min_gap is None:
+        min_gap = 1.0 / max(graph.n**2, 4)
+
+    n = graph.n
+    final_labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    active = np.ones(n, dtype=bool)
+    iterations: "list[AdaptiveIteration]" = []
+    gap_guess = initial_gap
+
+    while active.any():
+        active_idx = np.flatnonzero(active)
+        sub, vertex_list = graph.subgraph(active_idx)
+        rounds_before = engine.rounds
+        exhausted = gap_guess < min_gap
+
+        result = mpc_connected_components(
+            sub,
+            max(gap_guess, min_gap),
+            config=config,
+            rng=rng,
+            engine=engine,
+            walk_mode=walk_mode,
+            # On the last allowed guess, finalize so termination is certain.
+            finalize=exhausted,
+        )
+        labels = result.labels
+
+        # Growability check (one sort): a label is final iff no edge of the
+        # active subgraph crosses out of it.
+        engine.charge_sort(sub.m, label="growability check")
+        if sub.m:
+            lu = labels[sub.edges[:, 0]]
+            lv = labels[sub.edges[:, 1]]
+            crossing = np.unique(np.concatenate([lu[lu != lv], lv[lu != lv]]))
+        else:
+            crossing = np.empty(0, dtype=np.int64)
+        growable = np.zeros(int(labels.max()) + 1, dtype=bool)
+        growable[crossing] = True
+
+        finished_mask = ~growable[labels]
+        finished_vertices = vertex_list[finished_mask]
+        if finished_mask.any():
+            parts = np.unique(labels[finished_mask])
+            rank = np.searchsorted(parts, labels[finished_mask])
+            final_labels[finished_vertices] = next_label + rank
+            next_label += int(parts.size)
+        active[finished_vertices] = False
+
+        iterations.append(
+            AdaptiveIteration(
+                gap_guess=gap_guess,
+                walk_length=result.walk_length,
+                rounds=engine.rounds - rounds_before,
+                finished_vertices=int(finished_vertices.size),
+                active_vertices=int(active.sum()),
+            )
+        )
+        gap_guess = gap_guess**gap_exponent
+
+    return AdaptiveResult(
+        labels=canonical_labels(final_labels),
+        rounds=engine.rounds,
+        engine=engine,
+        iterations=iterations,
+    )

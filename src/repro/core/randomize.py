@@ -1,0 +1,134 @@
+"""Step 2 — Randomization (Section 5, Lemma 5.1).
+
+Transforms each connected component of a regular graph into (a close
+approximation of) a sample from the random-graph distribution ``G(n_i, 2k)``
+on the same vertex set: every vertex acquires ``k`` out-neighbours drawn
+from ``k`` mutually independent lazy random walks of length ``T ≥ T_mix``.
+Because a walk cannot leave its component, components are exactly preserved;
+because ``T`` exceeds the mixing time, each target is ``γ``-close to uniform
+over the component (the regularized graph's stationary distribution is
+uniform), so the component's distribution is ``n·γ``-close in total
+variation to ``G(n_i, 2k)`` — the Lemma 5.1 guarantee.
+
+The walk targets are additionally partitioned into *batches* whose
+randomness is disjoint: ``GrowComponents`` (Section 6) consumes one fresh
+batch per phase to keep contraction decisions independent of the remaining
+edges (the "fresh random seed" device discussed in Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.walk_engine import direct_walk_targets, independent_random_walks
+from repro.graph.graph import Graph
+from repro.mpc.engine import MPCEngine
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class RandomizedGraph:
+    """Output of the randomization step.
+
+    Attributes
+    ----------
+    graph:
+        The union of all batch edges — the graph ``H`` of Lemma 5.1
+        (``V(H) = V(G)``, per-vertex out-degree = ``walks_per_vertex``).
+    batches:
+        Edge arrays ``(n·k_b, 2)``, one per phase batch, disjoint randomness.
+    walk_length:
+        The length ``T`` actually walked.
+    """
+
+    graph: Graph
+    batches: "list[np.ndarray]"
+    walk_length: int
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batches)
+
+
+def randomize_components(
+    regular_graph: Graph,
+    walk_length: int,
+    *,
+    batches: int,
+    batch_half_degree: int,
+    rng=None,
+    engine: "MPCEngine | None" = None,
+    walk_mode: str = "direct",
+) -> RandomizedGraph:
+    """Lemma 5.1, batched for the Section 6 preprocessing.
+
+    Parameters
+    ----------
+    regular_graph:
+        The ``Δ``-regular graph from the regularization step.
+    walk_length:
+        ``T`` — at least the ``γ``-mixing time of every component.
+    batches, batch_half_degree:
+        ``batches`` independent edge batches are produced, each giving every
+        vertex ``batch_half_degree`` out-edges (so each batch is
+        distributed as ``G(n_i, 2·batch_half_degree)`` per component).
+    walk_mode:
+        ``"direct"`` — vectorised independent walkers (the scale mode;
+        identical output distribution, see DESIGN.md);
+        ``"layered"`` — the full Theorem 3 layered-graph data structure
+        with independence detection (one walk per vertex per run; slower,
+        faithful to the MPC data flow).
+    """
+    walk_length = check_positive_int(walk_length, "walk_length")
+    batches = check_positive_int(batches, "batches")
+    batch_half_degree = check_positive_int(batch_half_degree, "batch_half_degree")
+    rng = ensure_rng(rng)
+    n = regular_graph.n
+    total_walks = batches * batch_half_degree
+
+    if walk_mode == "direct":
+        targets = direct_walk_targets(
+            regular_graph,
+            walk_length,
+            total_walks,
+            rng,
+            lazy=True,
+            engine=engine,
+        )
+    elif walk_mode == "layered":
+        # Laziness via self-loops (Section 5.2): Δ loops double the degree
+        # and make the plain walk of the augmented graph the lazy walk of
+        # the original.
+        lazy_graph = regular_graph.with_self_loops(regular_graph.degree(0))
+        columns = []
+        charged_engine = engine
+        for _ in range(total_walks):
+            columns.append(
+                independent_random_walks(
+                    lazy_graph, walk_length, rng, engine=charged_engine
+                )
+            )
+            charged_engine = None  # parallel invocations: charge rounds once
+        targets = np.stack(columns, axis=1)
+    else:
+        raise ValueError(f"unknown walk_mode {walk_mode!r}")
+
+    sources = np.arange(n, dtype=np.int64)
+    batch_arrays = []
+    for b in range(batches):
+        cols = targets[:, b * batch_half_degree : (b + 1) * batch_half_degree]
+        batch_edges = np.stack(
+            [np.repeat(sources, batch_half_degree), cols.ravel()], axis=1
+        )
+        batch_arrays.append(batch_edges)
+
+    all_edges = np.concatenate(batch_arrays, axis=0)
+    graph = Graph(n, all_edges)
+
+    if engine is not None:
+        engine.charge_shuffle(all_edges.shape[0], label="materialize H edges")
+
+    return RandomizedGraph(graph=graph, batches=batch_arrays, walk_length=walk_length)

@@ -1,0 +1,214 @@
+"""Parallel random-walk machinery (Section 5.1, Theorem 3).
+
+``simple_random_walk`` implements ``SimpleRandomWalk(G, t)`` over the
+sampled layered graph: every vertex obtains a walk target distributed as
+``D_RW(v, t)``, and ``detect_independence`` (the ``Mark`` /
+``DetectIndependence`` procedures) flags the ``Ω(n)`` starts whose paths are
+vertex-disjoint — whose targets are therefore *mutually independent*
+(Observation 5.2).  ``independent_random_walks`` repeats the construction
+Θ(log n) times in parallel and keeps, for each vertex, the target from the
+first run in which its path was disjoint (Theorem 3's proof).
+
+``direct_walk_targets`` is the scale substitute recorded in DESIGN.md: it
+samples the *same* product distribution ``⊗_v D_RW(v, t)`` directly (one
+independent walker per vertex, vectorised), and charges the engine the same
+round costs — used by the pipeline for large inputs where materialising the
+``O(n t²)`` layered graph is wasteful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layered import (
+    JumpTables,
+    SampledLayeredGraph,
+    build_jump_tables,
+    is_power_of_two,
+    paths_from_starts,
+    sample_layered_graph,
+)
+from repro.graph.graph import Graph
+from repro.mpc.engine import MPCEngine
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def next_power_of_two(x: int) -> int:
+    x = check_positive_int(x, "x")
+    return 1 << (x - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class WalkRun:
+    """Output of one ``SimpleRandomWalk`` execution.
+
+    ``targets[v]`` is the endpoint of a ``t``-step walk from ``v`` (always
+    valid, always distributed ``D_RW(v, t)``); ``independent[v]`` flags the
+    vertices whose walks are mutually independent of every other walk in
+    this run (disjoint paths).
+    """
+
+    targets: np.ndarray
+    independent: np.ndarray
+    t: int
+
+
+def simple_random_walk(
+    graph: Graph,
+    t: int,
+    rng=None,
+    *,
+    engine: "MPCEngine | None" = None,
+) -> WalkRun:
+    """``SimpleRandomWalk(G, t)`` + ``DetectIndependence`` (Section 5.1).
+
+    ``graph`` must be regular; ``t`` is rounded up to a power of two
+    (walking longer than the mixing time is harmless).  MPC costs
+    (Theorem 3): ``O(log t)`` doubling iterations, each a parallel search
+    over the ``O(n t²)`` layered vertices, plus the marking pass.
+    """
+    rng = ensure_rng(rng)
+    t = next_power_of_two(t)
+    sampled = sample_layered_graph(graph, t, rng)
+    jumps = build_jump_tables(sampled)
+    starts = sampled.distinguished_starts()
+    paths = paths_from_starts(sampled, jumps, starts)
+    endpoints = paths[:, -1]
+    targets = sampled.base_vertex(endpoints)
+    independent = detect_independence(paths)
+
+    if engine is not None:
+        with engine.phase("SimpleRandomWalk"):
+            layered_size = sampled.vertex_count
+            engine.charge_shuffle(layered_size, label="sample G_S")
+            for _ in range(jumps.doubling_steps):
+                engine.charge_search(layered_size, label="pointer double")
+            for _ in range(jumps.doubling_steps):
+                engine.charge_search(layered_size, label="mark paths")
+            engine.charge_sort(graph.n * (t + 1), label="detect collisions")
+    return WalkRun(targets=targets, independent=independent, t=t)
+
+
+def detect_independence(paths: np.ndarray) -> np.ndarray:
+    """``DetectIndependence``: keep starts whose paths share no layered
+    vertex with any other start's path.
+
+    ``paths`` is the ``(k, t+1)`` matrix from ``paths_from_starts``.  A
+    layered vertex visited by two different paths disqualifies *both*
+    (conservative, as in the paper: any multiply-marked vertex removes
+    every path through it).  Within-path repeats are impossible (layers
+    strictly increase), so counting occurrences suffices.
+    """
+    k, _ = paths.shape
+    flat = paths.ravel()
+    order = np.argsort(flat, kind="stable")
+    sorted_vertices = flat[order]
+    # Boundaries of equal runs.
+    new_run = np.empty(sorted_vertices.size, dtype=bool)
+    new_run[0] = True
+    np.not_equal(sorted_vertices[1:], sorted_vertices[:-1], out=new_run[1:])
+    run_ids = np.cumsum(new_run) - 1
+    run_sizes = np.bincount(run_ids)
+    shared = run_sizes[run_ids] > 1  # this occurrence lies in a shared vertex
+    owner = order // paths.shape[1]  # row (start) of each occurrence
+    bad_owner = np.zeros(k, dtype=bool)
+    np.logical_or.at(bad_owner, owner, shared)
+    return ~bad_owner
+
+
+def independent_random_walks(
+    graph: Graph,
+    t: int,
+    rng=None,
+    *,
+    max_runs: int = 24,
+    engine: "MPCEngine | None" = None,
+) -> np.ndarray:
+    """Theorem 3: one independent ``t``-step walk target per vertex.
+
+    Runs ``simple_random_walk`` repeatedly (the paper does Θ(log n) runs in
+    parallel — rounds are charged for one run, data volume for all) and
+    takes each vertex's target from the first run where its path was
+    disjoint.  Raises if some vertex never succeeds within ``max_runs``
+    (probability ``2^{-max_runs}`` per vertex by Lemma 5.3).
+    """
+    rng = ensure_rng(rng)
+    targets = np.full(graph.n, -1, dtype=np.int64)
+    pending = np.ones(graph.n, dtype=bool)
+    runs = 0
+    charged_engine = engine
+    while pending.any():
+        if runs >= max_runs:
+            raise RuntimeError(
+                f"{int(pending.sum())} vertices lack independent walks "
+                f"after {max_runs} runs (Lemma 5.3 gives p>=1/2 per run)"
+            )
+        run = simple_random_walk(graph, t, rng, engine=charged_engine)
+        charged_engine = None  # parallel runs: rounds charged once
+        adopt = pending & run.independent
+        targets[adopt] = run.targets[adopt]
+        pending &= ~run.independent
+        runs += 1
+    if engine is not None:
+        # Data volume scales with the number of parallel repetitions.
+        engine.note_data_volume(graph.n * (2 * t) * (t + 1) * runs)
+    return targets
+
+
+def direct_walk_targets(
+    graph: Graph,
+    t: int,
+    walks_per_vertex: int,
+    rng=None,
+    *,
+    lazy: bool = True,
+    engine: "MPCEngine | None" = None,
+) -> np.ndarray:
+    """Sample ``walks_per_vertex`` mutually independent ``t``-step walk
+    endpoints from every vertex of a regular graph, vectorised.
+
+    This draws from exactly the product distribution Theorem 3's data
+    structure produces (independence per walker is by construction), so the
+    pipeline can use it interchangeably at scale; the MPC rounds charged
+    match ``independent_random_walks``.  ``lazy=True`` walks the lazy chain
+    (the paper implements laziness by adding Δ self-loops — Section 5.2 —
+    which is distribution-identical to flipping a stay coin per step).
+    """
+    t = check_positive_int(t, "t")
+    walks_per_vertex = check_positive_int(walks_per_vertex, "walks_per_vertex")
+    if not graph.is_regular():
+        raise ValueError("direct walker requires a regular graph")
+    degree = graph.degree(0)
+    if degree == 0:
+        raise ValueError("graph must have positive degree")
+    rng = ensure_rng(rng)
+
+    n = graph.n
+    neighbors = graph.heads.reshape(n, degree)
+    walkers = np.tile(np.arange(n, dtype=np.int64), walks_per_vertex)
+    for _ in range(t):
+        ports = rng.integers(0, degree, size=walkers.size)
+        stepped = neighbors[walkers, ports]
+        if lazy:
+            stay = rng.random(walkers.size) < 0.5
+            walkers = np.where(stay, walkers, stepped)
+        else:
+            walkers = stepped
+
+    if engine is not None:
+        t_pow = next_power_of_two(t)
+        with engine.phase("SimpleRandomWalk"):
+            layered_size = n * (2 * t_pow) * (t_pow + 1)
+            engine.charge_shuffle(layered_size, label="sample G_S")
+            doublings = int(np.log2(t_pow))
+            for _ in range(doublings):
+                engine.charge_search(layered_size, label="pointer double")
+            for _ in range(doublings):
+                engine.charge_search(layered_size, label="mark paths")
+            engine.charge_sort(n * (t_pow + 1), label="detect collisions")
+            engine.note_data_volume(layered_size * walks_per_vertex)
+
+    return walkers.reshape(walks_per_vertex, n).T

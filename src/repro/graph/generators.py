@@ -1,0 +1,294 @@
+"""Graph generators: the paper's random-graph models plus bench workloads.
+
+Two models come straight from the paper:
+
+* :func:`paper_random_graph` — the distribution ``G(n, d)`` of Section 2.3:
+  every vertex picks ``⌊d/2⌋`` out-neighbours uniformly with replacement,
+  then directions are dropped (parallel edges survive, matching the model's
+  degree accounting).
+* :func:`permutation_regular_graph` — the space ``G_{n,d}`` of Section 4
+  (Eq. 1): the union of ``d/2`` uniformly random permutations of ``[n]``
+  (fixed points become self-loops), i.e. an exactly ``d``-regular
+  multigraph.
+
+The remaining generators build the evaluation workloads: unions of
+well-connected components, weakly connected dumbbells and rings for the
+``λ`` sweeps, and classical families (paths, cycles, grids, hypercubes)
+for the Theorem 2 experiments on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph, disjoint_union
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+
+# ---------------------------------------------------------------------------
+# Paper models
+# ---------------------------------------------------------------------------
+
+
+def paper_random_graph(n: int, d: int, rng=None) -> Graph:
+    """Sample from the paper's ``G(n, d)`` distribution (Section 2.3).
+
+    Each vertex draws ``⌊d/2⌋`` targets uniformly at random with
+    replacement; the resulting directed edges are made undirected.  Expected
+    degree is ``≈ d``; Propositions 2.3–2.5 give almost-regularity,
+    connectivity (for ``d ≥ c log n``) and expansion.
+    """
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    rng = ensure_rng(rng)
+    out = d // 2
+    if out == 0:
+        return Graph(n, np.empty((0, 2), dtype=np.int64))
+    sources = np.repeat(np.arange(n, dtype=np.int64), out)
+    targets = rng.integers(0, n, size=n * out, dtype=np.int64)
+    return Graph(n, np.stack([sources, targets], axis=1))
+
+
+def paper_random_graph_edges(n: int, half_degree: int, rng=None) -> np.ndarray:
+    """Just the edge array of ``G(n, 2·half_degree)`` — used when callers
+    (e.g. ``GrowComponents`` batches) assemble graphs themselves."""
+    n = check_positive_int(n, "n")
+    half_degree = check_positive_int(half_degree, "half_degree")
+    rng = ensure_rng(rng)
+    sources = np.repeat(np.arange(n, dtype=np.int64), half_degree)
+    targets = rng.integers(0, n, size=n * half_degree, dtype=np.int64)
+    return np.stack([sources, targets], axis=1)
+
+
+def permutation_regular_graph(n: int, d: int, rng=None) -> Graph:
+    """Sample from ``G_{n,d}`` (Section 4, Eq. 1): union of ``d/2`` random
+    permutations.  Exactly ``d``-regular for every ``n ≥ 1`` (fixed points
+    contribute self-loops, 2-cycles contribute parallel edges)."""
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    if d % 2 != 0:
+        raise ValueError(f"permutation model needs even d, got {d}")
+    rng = ensure_rng(rng)
+    blocks = []
+    base = np.arange(n, dtype=np.int64)
+    for _ in range(d // 2):
+        perm = rng.permutation(n).astype(np.int64)
+        blocks.append(np.stack([base, perm], axis=1))
+    edges = np.concatenate(blocks, axis=0) if blocks else np.empty((0, 2), np.int64)
+    return Graph(n, edges)
+
+
+# ---------------------------------------------------------------------------
+# Classical families
+# ---------------------------------------------------------------------------
+
+
+def empty_graph(n: int) -> Graph:
+    return Graph(check_nonnegative_int(n, "n"), np.empty((0, 2), dtype=np.int64))
+
+
+def path_graph(n: int) -> Graph:
+    n = check_positive_int(n, "n")
+    idx = np.arange(n - 1, dtype=np.int64)
+    return Graph(n, np.stack([idx, idx + 1], axis=1))
+
+
+def cycle_graph(n: int) -> Graph:
+    n = check_positive_int(n, "n")
+    idx = np.arange(n, dtype=np.int64)
+    return Graph(n, np.stack([idx, (idx + 1) % n], axis=1))
+
+
+def complete_graph(n: int) -> Graph:
+    n = check_positive_int(n, "n")
+    iu = np.triu_indices(n, k=1)
+    return Graph(n, np.stack(iu, axis=1).astype(np.int64))
+
+
+def star_graph(n: int) -> Graph:
+    """Vertex 0 joined to each of ``1..n-1`` — the paper's example of a
+    random-walk "hub" motivating the regularization step."""
+    n = check_positive_int(n, "n")
+    if n == 1:
+        return empty_graph(1)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return Graph(n, np.stack([np.zeros(n - 1, dtype=np.int64), leaves], axis=1))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    edges = []
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horizontal = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    vertical = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    if horizontal.size:
+        edges.append(horizontal)
+    if vertical.size:
+        edges.append(vertical)
+    all_edges = np.concatenate(edges, axis=0) if edges else np.empty((0, 2), np.int64)
+    return Graph(rows * cols, all_edges)
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube: spectral gap ``2/dim`` — a natural
+    mid-gap workload."""
+    dim = check_positive_int(dim, "dim")
+    n = 1 << dim
+    verts = np.arange(n, dtype=np.int64)
+    blocks = []
+    for bit in range(dim):
+        mate = verts ^ (1 << bit)
+        keep = verts < mate
+        blocks.append(np.stack([verts[keep], mate[keep]], axis=1))
+    return Graph(n, np.concatenate(blocks, axis=0))
+
+
+def erdos_renyi(n: int, p: float, rng=None) -> Graph:
+    """Simple ``G(n, p)`` (no multi-edges) via sparse sampling."""
+    n = check_positive_int(n, "n")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = ensure_rng(rng)
+    expected = p * n * (n - 1) / 2
+    if expected > 5e7:
+        raise ValueError("erdos_renyi: requested graph too dense for this sampler")
+    # Sample the number of edges, then distinct pairs.
+    total_pairs = n * (n - 1) // 2
+    m = rng.binomial(total_pairs, p) if total_pairs else 0
+    if m == 0:
+        return empty_graph(n)
+    seen = set()
+    edges = np.empty((m, 2), dtype=np.int64)
+    count = 0
+    while count < m:
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges[count] = key
+        count += 1
+    return Graph(n, edges)
+
+
+# ---------------------------------------------------------------------------
+# Bench workloads
+# ---------------------------------------------------------------------------
+
+
+def planted_expander_components(
+    sizes: Sequence[int], d: int, rng=None
+) -> "tuple[Graph, np.ndarray]":
+    """Disjoint union of ``d``-regular random expanders of the given sizes —
+    the canonical "well-connected components" workload of Theorem 1.
+
+    Returns ``(graph, true_labels)``.
+    """
+    d = check_positive_int(d, "d")
+    rng = ensure_rng(rng)
+    parts = [permutation_regular_graph(check_positive_int(s, "size"), d, rng) for s in sizes]
+    union, offsets = disjoint_union(parts)
+    labels = np.repeat(np.arange(len(sizes), dtype=np.int64), np.diff(offsets))
+    return union, labels
+
+
+def dumbbell_graph(half: int, d: int, bridges: int = 1, rng=None) -> Graph:
+    """Two ``d``-regular expanders on ``half`` vertices joined by
+    ``bridges`` extra edges.
+
+    Spectral gap ``Θ(bridges/half)`` while the diameter stays ``O(log half)``
+    — the instance family separating this paper's parametrisation (spectral
+    gap) from Andoni et al.'s (diameter), Section 1.3.
+    """
+    half = check_positive_int(half, "half")
+    bridges = check_positive_int(bridges, "bridges")
+    rng = ensure_rng(rng)
+    left = permutation_regular_graph(half, d, rng)
+    right = permutation_regular_graph(half, d, rng)
+    union, _ = disjoint_union([left, right])
+    ends_left = rng.integers(0, half, size=bridges, dtype=np.int64)
+    ends_right = rng.integers(half, 2 * half, size=bridges, dtype=np.int64)
+    bridge_edges = np.stack([ends_left, ends_right], axis=1)
+    return Graph(2 * half, np.concatenate([union.edges, bridge_edges], axis=0))
+
+
+def ring_of_expanders(count: int, size: int, d: int, rng=None) -> Graph:
+    """``count`` expanders of ``size`` vertices arranged in a ring with one
+    bridge edge between consecutive blobs — gap ``Θ(1/(count² · size))``,
+    used for the λ sweep (E2)."""
+    count = check_positive_int(count, "count")
+    size = check_positive_int(size, "size")
+    rng = ensure_rng(rng)
+    blobs = [permutation_regular_graph(size, d, rng) for _ in range(count)]
+    union, offsets = disjoint_union(blobs)
+    bridge_edges = []
+    for i in range(count):
+        j = (i + 1) % count
+        u = int(offsets[i] + rng.integers(size))
+        v = int(offsets[j] + rng.integers(size))
+        bridge_edges.append((u, v))
+    if count == 1:
+        bridge_edges = []
+    edges = np.concatenate(
+        [union.edges] + ([np.array(bridge_edges, dtype=np.int64)] if bridge_edges else []),
+        axis=0,
+    )
+    return Graph(union.n, edges)
+
+
+def expander_path(count: int, size: int, d: int, rng=None) -> Graph:
+    """``count`` expanders chained in a path by single bridges — gap shrinks
+    as ``Θ(1/(count² size))`` with diameter ``Θ(count)``."""
+    count = check_positive_int(count, "count")
+    size = check_positive_int(size, "size")
+    rng = ensure_rng(rng)
+    blobs = [permutation_regular_graph(size, d, rng) for _ in range(count)]
+    union, offsets = disjoint_union(blobs)
+    bridge_edges = []
+    for i in range(count - 1):
+        u = int(offsets[i] + rng.integers(size))
+        v = int(offsets[i + 1] + rng.integers(size))
+        bridge_edges.append((u, v))
+    edges = np.concatenate(
+        [union.edges] + ([np.array(bridge_edges, dtype=np.int64)] if bridge_edges else []),
+        axis=0,
+    )
+    return Graph(union.n, edges)
+
+
+def community_graph(
+    sizes: Sequence[int],
+    intra_degree: int,
+    rng=None,
+    *,
+    skew_tail: bool = False,
+) -> "tuple[Graph, np.ndarray]":
+    """A social-network-like workload: communities that are internally
+    well-connected random graphs (``G(size, intra_degree)``), pairwise
+    disconnected.  ``skew_tail`` appends many small communities, emulating
+    the heavy-tailed community-size profiles of real social graphs (the
+    sparse-graph motivation in the paper's introduction).
+
+    Returns ``(graph, true_labels)``.
+    """
+    rng = ensure_rng(rng)
+    sizes = [check_positive_int(s, "size") for s in sizes]
+    if skew_tail:
+        tail = [max(2, sizes[-1] // (2**k)) for k in range(1, 5)]
+        sizes = list(sizes) + tail
+    parts = []
+    for s in sizes:
+        if s == 1:
+            parts.append(empty_graph(1))
+        else:
+            parts.append(paper_random_graph(s, max(4, intra_degree), rng))
+    union, offsets = disjoint_union(parts)
+    labels = np.repeat(np.arange(len(sizes), dtype=np.int64), np.diff(offsets))
+    return union, labels

@@ -1,0 +1,27 @@
+"""Section 9: the unconditional lower bound for ExpanderConn."""
+
+from repro.lower_bound.adversary import AdversaryGame, play_until_resolved
+from repro.lower_bound.hard_family import HardFamily, build_hard_family
+from repro.lower_bound.instances import (
+    ExpanderConnInstance,
+    build_instance,
+    verify_promise,
+)
+from repro.lower_bound.query_algorithms import (
+    family_edge_strategy,
+    greedy_multiplicity_strategy,
+    random_pair_strategy,
+)
+
+__all__ = [
+    "HardFamily",
+    "build_hard_family",
+    "ExpanderConnInstance",
+    "build_instance",
+    "verify_promise",
+    "AdversaryGame",
+    "play_until_resolved",
+    "random_pair_strategy",
+    "family_edge_strategy",
+    "greedy_multiplicity_strategy",
+]

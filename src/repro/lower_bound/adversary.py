@@ -1,0 +1,120 @@
+"""The decision-tree adversary of Lemma 9.3.
+
+The adversary maintains the set of *alive* family members.  On a query for
+edge ``(u, v)``:
+
+* edges of ``G_S`` or ``G_T`` are answered truthfully (present);
+* an edge belonging to one or more alive ``B_i`` is answered **absent**,
+  killing each of those members (they can no longer be the bridge);
+* all other edges are absent.
+
+As long as at least one member is alive, both the connected instance (that
+member as bridge) and the disconnected instance remain consistent with all
+answers, so no correct algorithm may stop.  Each query kills at most
+``max_multiplicity = O(log n)`` members, forcing
+``≥ k / max_multiplicity = Ω(n / log n)`` queries (Lemma 9.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lower_bound.hard_family import HardFamily
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class AdversaryGame:
+    """Interactive edge-query game against the Lemma 9.3 adversary."""
+
+    family: HardFamily
+    base_edges: "set[tuple[int, int]]" = field(default_factory=set)
+    queries_made: int = 0
+    kills: int = 0
+    _alive: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self._alive is None:
+            self._alive = np.ones(self.family.size, dtype=bool)
+
+    @classmethod
+    def fresh(cls, family: HardFamily, halves=None) -> "AdversaryGame":
+        """Start a game; ``halves`` optionally supplies the (public)
+        ``G_S``/``G_T`` edges for truthful answers."""
+        base: "set[tuple[int, int]]" = set()
+        if halves is not None:
+            left, right = halves
+            half = family.n // 2
+            base |= {tuple(sorted(e)) for e in left.edges.tolist()}
+            base |= {
+                tuple(sorted((a + half, b + half))) for a, b in right.edges.tolist()
+            }
+        return cls(family=family, base_edges=base)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def alive(self) -> np.ndarray:
+        return self._alive
+
+    @property
+    def alive_count(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def resolved(self) -> bool:
+        """True once every member is dead — only then does the transcript
+        determine the answer (the graph must be disconnected)."""
+        return self.alive_count == 0
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, u: int, v: int) -> bool:
+        """Answer an edge-presence query, updating the alive set."""
+        if u == v:
+            raise ValueError("self-loop queries are meaningless here")
+        self.queries_made += 1
+        lo, hi = (u, v) if u < v else (v, u)
+        if (lo, hi) in self.base_edges:
+            return True
+        key = lo * self.family.n + hi
+        owners = self.family.edge_membership.get(key, [])
+        for index in owners:
+            if self._alive[index]:
+                self._alive[index] = False
+                self.kills += 1
+        return False
+
+    def certificate(self) -> dict:
+        """Post-game accounting for the bench tables."""
+        return {
+            "queries": self.queries_made,
+            "kills": self.kills,
+            "alive": self.alive_count,
+            "family_size": self.family.size,
+            "max_multiplicity": self.family.max_multiplicity,
+            "theoretical_minimum": self.family.query_lower_bound(),
+        }
+
+
+def play_until_resolved(
+    game: AdversaryGame,
+    strategy: "callable",
+    *,
+    max_queries: "int | None" = None,
+) -> dict:
+    """Drive ``strategy(game) -> (u, v)`` until the adversary is cornered.
+
+    Returns the game certificate.  ``strategy`` sees the full game state
+    (alive counts etc.) — the lower bound holds regardless.
+    """
+    if max_queries is None:
+        max_queries = 50 * max(1, game.family.size) * max(1, game.family.max_multiplicity)
+    while not game.resolved:
+        if game.queries_made >= max_queries:
+            raise RuntimeError("strategy failed to corner the adversary")
+        u, v = strategy(game)
+        game.query(int(u), int(v))
+    return game.certificate()

@@ -1,0 +1,111 @@
+"""The hard expander family of Claim 9.4.
+
+A collection ``B = B_1, ..., B_k`` of ``k = Ω(n)`` d-regular expanders on a
+*common* vertex set such that no single edge appears in more than
+``O(log n)`` of them.  Section 9's adversary uses it to force
+``Ω(k / log n) = Ω(n / log n)`` edge queries: every query can eliminate at
+most max-multiplicity many of the ``B_i`` from contention.
+
+The family is built exactly as in the probabilistic proof: independent
+samples from the permutation model ``G_{n,d}``, followed by an audit of the
+gap and multiplicity properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import component_count
+from repro.graph.generators import permutation_regular_graph
+from repro.graph.graph import Graph
+from repro.graph.spectral import spectral_gap
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _edge_keys(edges: np.ndarray, n: int) -> np.ndarray:
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    return np.unique(lo * n + hi)
+
+
+@dataclass(frozen=True)
+class HardFamily:
+    """The Claim 9.4 collection.
+
+    Attributes
+    ----------
+    n, d:
+        Common vertex count and regular degree.
+    members:
+        The expanders ``B_i`` (as graphs on ``[0, n)``).
+    edge_membership:
+        ``{edge_key: [indices of members containing it]}`` where
+        ``edge_key = min·n + max``.
+    """
+
+    n: int
+    d: int
+    members: "list[Graph]"
+    edge_membership: "dict[int, list[int]]"
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def max_multiplicity(self) -> int:
+        """Largest number of members sharing one edge (Claim 9.4 part 2:
+        O(log n) w.h.p.)."""
+        if not self.edge_membership:
+            return 0
+        return max(len(v) for v in self.edge_membership.values())
+
+    def min_gap(self) -> float:
+        """Smallest member spectral gap (Claim 9.4 part 1: Ω(1))."""
+        return min(spectral_gap(b) for b in self.members)
+
+    def query_lower_bound(self) -> int:
+        """The adversary bound: at least ``k / max_multiplicity`` queries
+        are needed to eliminate every member (Lemma 9.3's counting)."""
+        mult = max(1, self.max_multiplicity)
+        return self.size // mult
+
+
+def build_hard_family(
+    n: int,
+    d: int = 8,
+    *,
+    count: "int | None" = None,
+    rng=None,
+    reject_disconnected: bool = True,
+) -> HardFamily:
+    """Sample the Claim 9.4 family.
+
+    ``count`` defaults to the claim's ``k = n / (100 d)`` scaled to
+    ``max(4, n // (4 d))`` so small experiments still get several members.
+    """
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    rng = ensure_rng(rng)
+    if count is None:
+        count = max(4, n // (4 * d))
+
+    members: "list[Graph]" = []
+    membership: "dict[int, list[int]]" = {}
+    attempts = 0
+    while len(members) < count:
+        attempts += 1
+        if attempts > 20 * count:
+            raise RuntimeError("failed to sample enough connected expanders")
+        candidate = permutation_regular_graph(n, d, rng)
+        if reject_disconnected and component_count(candidate) != 1:
+            continue
+        index = len(members)
+        members.append(candidate)
+        for key in _edge_keys(candidate.edges, n).tolist():
+            membership.setdefault(key, []).append(index)
+
+    return HardFamily(n=n, d=d, members=members, edge_membership=membership)

@@ -1,0 +1,97 @@
+"""ExpanderConn promise instances (Section 9, Lemma 9.3).
+
+An instance consists of two disjoint d-regular expanders ``G_S`` and
+``G_T`` on the two halves of the vertex set, plus *at most one* member of a
+Claim 9.4 hard family on the full vertex set.  With a member present the
+graph is one connected sparse expander; without it, two.  Distinguishing
+the two cases is exactly the promise problem ``ExpanderConn_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import component_count
+from repro.graph.generators import permutation_regular_graph
+from repro.graph.graph import Graph
+from repro.lower_bound.hard_family import HardFamily
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ExpanderConnInstance:
+    """One promise instance.
+
+    ``bridge_index`` is the index of the included family member, or None
+    for the disconnected case.
+    """
+
+    n: int
+    halves: "tuple[Graph, Graph]"
+    family: HardFamily
+    bridge_index: "int | None"
+
+    @property
+    def is_connected(self) -> bool:
+        return self.bridge_index is not None
+
+    def graph(self) -> Graph:
+        """Materialise the instance graph."""
+        left, right = self.halves
+        half = self.n // 2
+        pieces = [left.edges, right.edges + half]
+        if self.bridge_index is not None:
+            pieces.append(self.family.members[self.bridge_index].edges)
+        return Graph(self.n, np.concatenate(pieces, axis=0))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership oracle for edge queries (the decision-tree model)."""
+        half = self.n // 2
+        lo, hi = min(u, v), max(u, v)
+        left, right = self.halves
+        base = {tuple(sorted(e)) for e in left.edges.tolist()}
+        base |= {tuple(sorted((a + half, b + half))) for a, b in right.edges.tolist()}
+        if (lo, hi) in base:
+            return True
+        if self.bridge_index is None:
+            return False
+        key = lo * self.n + hi
+        return self.bridge_index in self.family.edge_membership.get(key, [])
+
+
+def build_instance(
+    family: HardFamily,
+    bridge_index: "int | None",
+    rng=None,
+    *,
+    half_degree: "int | None" = None,
+) -> ExpanderConnInstance:
+    """Assemble an instance over ``family``'s vertex set.
+
+    The halves are fresh expanders, independent of the family.
+    """
+    rng = ensure_rng(rng)
+    n = family.n
+    if n % 2 != 0:
+        raise ValueError("instance construction needs an even vertex count")
+    if bridge_index is not None and not 0 <= bridge_index < family.size:
+        raise ValueError(f"bridge index {bridge_index} out of range")
+    if half_degree is None:
+        half_degree = family.d
+    half = n // 2
+    left = permutation_regular_graph(half, half_degree, rng)
+    right = permutation_regular_graph(half, half_degree, rng)
+    return ExpanderConnInstance(
+        n=n, halves=(left, right), family=family, bridge_index=bridge_index
+    )
+
+
+def verify_promise(instance: ExpanderConnInstance) -> bool:
+    """Check the promise: the instance graph's components match the
+    bridge flag (1 component with a bridge, 2 without, up to expander
+    connectivity of the halves)."""
+    count = component_count(instance.graph())
+    return count == (1 if instance.is_connected else 2)

@@ -1,0 +1,70 @@
+"""Query strategies measured against the Lemma 9.3 adversary.
+
+Three probers spanning the strategy space:
+
+* :func:`random_pair_strategy` — blind random vertex-pair queries (what a
+  naive algorithm without the family's description would do; pays a huge
+  factor because most pairs are in no ``B_i``);
+* :func:`family_edge_strategy` — queries random *edges of alive members*
+  (every query kills ≥ 1 member; within ``max_multiplicity`` of optimal);
+* :func:`greedy_multiplicity_strategy` — queries the edge contained in the
+  most alive members (the information-theoretically best per-query kill
+  rate, matching the ``k / max_multiplicity`` bound up to constants).
+
+Bench E9 plots the queries-to-resolution of each against the
+``k / max_multiplicity = Ω(n / log n)`` floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lower_bound.adversary import AdversaryGame
+from repro.utils.rng import ensure_rng
+
+
+def random_pair_strategy(rng=None):
+    """Uniformly random vertex pairs."""
+    rng = ensure_rng(rng)
+
+    def strategy(game: AdversaryGame) -> "tuple[int, int]":
+        n = game.family.n
+        while True:
+            u = int(rng.integers(n))
+            v = int(rng.integers(n))
+            if u != v:
+                return u, v
+
+    return strategy
+
+
+def family_edge_strategy(rng=None):
+    """Random edges drawn from still-alive members."""
+    rng = ensure_rng(rng)
+
+    def strategy(game: AdversaryGame) -> "tuple[int, int]":
+        alive = np.flatnonzero(game.alive)
+        member = game.family.members[int(rng.choice(alive))]
+        edge = member.edges[int(rng.integers(member.m))]
+        return int(edge[0]), int(edge[1])
+
+    return strategy
+
+
+def greedy_multiplicity_strategy():
+    """The edge killing the most alive members per query."""
+
+    def strategy(game: AdversaryGame) -> "tuple[int, int]":
+        best_key = None
+        best_kills = 0
+        for key, owners in game.family.edge_membership.items():
+            kills = sum(1 for i in owners if game.alive[i])
+            if kills > best_kills:
+                best_kills = kills
+                best_key = key
+        if best_key is None:
+            raise RuntimeError("no alive members left to query")
+        n = game.family.n
+        return int(best_key // n), int(best_key % n)
+
+    return strategy

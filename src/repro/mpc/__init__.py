@@ -1,0 +1,30 @@
+"""MPC simulator: round accounting engine + faithful memory-capped executor."""
+
+from repro.mpc.algorithms import (
+    distributed_components,
+    distributed_leader_election,
+    distributed_min_label_round,
+    scatter_graph_state,
+)
+from repro.mpc.cluster import Cluster
+from repro.mpc.cost import MPCCostModel
+from repro.mpc.engine import MPCEngine, PhaseSummary, RoundCharge
+from repro.mpc.machine import Machine, MachineMemoryError
+from repro.mpc.primitives import distributed_search, distributed_sort, reduce_by_key
+
+__all__ = [
+    "MPCCostModel",
+    "MPCEngine",
+    "RoundCharge",
+    "PhaseSummary",
+    "Machine",
+    "MachineMemoryError",
+    "Cluster",
+    "distributed_sort",
+    "distributed_leader_election",
+    "distributed_min_label_round",
+    "distributed_components",
+    "scatter_graph_state",
+    "distributed_search",
+    "reduce_by_key",
+]

@@ -1,0 +1,196 @@
+"""Core per-round operations executed faithfully on the Cluster.
+
+The production pipeline charges its engine 2 shuffles per leader election
+and 1 per broadcast level.  These implementations certify those charges by
+actually running the operations on memory-capped machines:
+
+* :func:`distributed_leader_election` — 2 communication rounds, using
+  shared randomness for the leader coins (every machine can evaluate any
+  vertex's coin locally from the common seed, the standard MPC device also
+  used by Prop. 8.1's sketches);
+* :func:`distributed_min_label_round` — one exchange per broadcast level:
+  edge copies are co-located with their endpoint's *home* machine, so
+  label candidates are computed locally and shipped to the other
+  endpoint's home.
+
+Layout convention: vertex ``v``'s state lives on machine
+``home(v) = v % machine_count``; each edge keeps a copy at both endpoint
+homes.  Both operations preserve that layout, so they compose round by
+round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpc.cluster import Cluster
+from repro.sketch.hashing import KWiseHash
+from repro.utils.validation import check_probability
+
+
+def scatter_graph_state(
+    cluster: Cluster, n: int, edges: np.ndarray, labels: "np.ndarray | None" = None
+) -> None:
+    """Place vertex labels and duplicated edge copies at endpoint homes."""
+    if labels is None:
+        labels = np.arange(n, dtype=np.int64)
+    machine_count = cluster.machine_count
+    items = []
+    for v in range(n):
+        items.append((v % machine_count, ("label", (v, int(labels[v])))))
+    for u, v in np.asarray(edges, dtype=np.int64).reshape(-1, 2).tolist():
+        items.append((u % machine_count, ("edge", (u, v))))
+        items.append((v % machine_count, ("edge", (v, u))))
+    # Initial placement round: deliver everything to homes.
+    staged: "list[list]" = [[] for _ in range(machine_count)]
+    for dest, payload in items:
+        staged[dest].append(payload)
+    for machine, payload in zip(cluster.machines, staged):
+        machine.store_many(payload)
+
+
+def distributed_leader_election(
+    cluster: Cluster,
+    n: int,
+    edges: np.ndarray,
+    leader_prob: float,
+    seed: int,
+) -> "dict[int, int]":
+    """Run one ``LeaderElection`` on the cluster in exactly 2 rounds.
+
+    Returns ``{non_leader: chosen_leader}`` for every matched non-leader.
+    Leader coins come from the shared seed; candidate priorities from a
+    second shared hash, so the uniform choice is reproducible.
+    """
+    leader_prob = check_probability(leader_prob, "leader_prob")
+    machine_count = cluster.machine_count
+    coin = KWiseHash(3, rng=seed)
+    priority = KWiseHash(3, rng=seed + 1)
+
+    def is_leader(v: int) -> bool:
+        return coin.uniform_floats(np.array([v]))[0] < leader_prob
+
+    scatter_graph_state(cluster, n, edges)
+
+    # Round 1: for each edge copy (w, x) at home(w): if w is a non-leader
+    # and x a leader, ship the candidate (w, x, priority) to home(w) —
+    # it is already there, but state must be re-sent to survive the round.
+    def propose(mid: int, local):
+        out = []
+        for tag, payload in local:
+            out.append((mid, (tag, payload)))
+            if tag == "edge":
+                w, x = payload
+                if w != x and not is_leader(w) and is_leader(x):
+                    pri = int(priority.values(np.array([w * n + x]))[0])
+                    out.append((w % machine_count, ("candidate", (w, x, pri))))
+        return out
+
+    cluster.round(propose)
+
+    # Round 2: homes select the minimum-priority candidate per vertex.
+    def select(mid: int, local):
+        best: "dict[int, tuple[int, int]]" = {}
+        passthrough = []
+        for tag, payload in local:
+            if tag == "candidate":
+                w, x, pri = payload
+                if w not in best or (pri, x) < best[w]:
+                    best[w] = (pri, x)
+            else:
+                passthrough.append((mid, (tag, payload)))
+        for w, (pri, x) in best.items():
+            passthrough.append((mid, ("matched", (w, x))))
+        return passthrough
+
+    cluster.round(select)
+
+    matches: "dict[int, int]" = {}
+    for machine in cluster.machines:
+        for tag, payload in machine.items:
+            if tag == "matched":
+                w, x = payload
+                matches[w] = x
+    return matches
+
+
+def distributed_min_label_round(cluster: Cluster, n: int) -> "dict[int, int]":
+    """One min-label broadcast level on pre-scattered graph state.
+
+    Exactly 1 communication round: edge copies read their endpoint's label
+    locally (co-located at the home) and ship it to the other endpoint's
+    home, which takes the minimum.  Returns the updated labels.
+    """
+    machine_count = cluster.machine_count
+
+    def level(mid: int, local):
+        labels = {v: lab for tag, (v, lab) in
+                  ((t, p) for t, p in local if t == "label")}
+        out = []
+        for tag, payload in local:
+            if tag == "edge":
+                w, x = payload
+                out.append((mid, (tag, payload)))
+                if w in labels:
+                    out.append((x % machine_count, ("offer", (x, labels[w]))))
+            elif tag == "label":
+                out.append((mid, (tag, payload)))
+        return out
+
+    cluster.round(level)
+
+    # Fold offers into labels locally (no communication).
+    def fold(mid: int, local):
+        labels: "dict[int, int]" = {}
+        edges = []
+        for tag, payload in local:
+            if tag == "label":
+                v, lab = payload
+                labels[v] = min(labels.get(v, lab), lab)
+            elif tag == "offer":
+                v, lab = payload
+                labels[v] = min(labels.get(v, lab), lab)
+            else:
+                edges.append((mid, (tag, payload)))
+        out = edges
+        out.extend((mid, ("label", (v, lab))) for v, lab in labels.items())
+        return out
+
+    cluster.round(fold)
+
+    labels: "dict[int, int]" = {}
+    for machine in cluster.machines:
+        for tag, payload in machine.items:
+            if tag == "label":
+                v, lab = payload
+                labels[v] = min(labels.get(v, lab), lab)
+    return labels
+
+
+def distributed_components(
+    cluster_factory,
+    n: int,
+    edges: np.ndarray,
+    *,
+    max_levels: "int | None" = None,
+) -> "tuple[np.ndarray, int]":
+    """Full min-label connectivity on the faithful executor.
+
+    ``cluster_factory()`` builds a fresh cluster per level (state is
+    re-scattered so the memory accounting of every level is identical).
+    Returns ``(labels, levels)``.
+    """
+    if max_levels is None:
+        max_levels = n + 1
+    labels = np.arange(n, dtype=np.int64)
+    for level_index in range(max_levels):
+        cluster = cluster_factory()
+        scatter_graph_state(cluster, n, edges, labels)
+        updated = distributed_min_label_round(cluster, n)
+        new_labels = labels.copy()
+        for v, lab in updated.items():
+            new_labels[v] = lab
+        if np.array_equal(new_labels, labels):
+            return labels, level_index
+        labels = new_labels
+    raise RuntimeError("distributed components did not converge")

@@ -1,0 +1,109 @@
+"""A faithful (small-scale) MPC executor.
+
+This is the validation substrate: data really lives on
+:class:`~repro.mpc.machine.Machine` objects, rounds really consist of a
+local-computation step followed by an all-to-all message exchange, and both
+per-machine memory and per-round communication are enforced exactly as in
+the model of Beame–Koutris–Suciu [12] that the paper adopts:
+
+* during a round, machines compute locally — no communication;
+* between rounds, each machine may send and receive at most its memory.
+
+Algorithms meant for production use charge an :class:`~repro.mpc.engine.MPCEngine`
+instead (vectorised, unbounded scale); the tests run the same primitive
+logic on a ``Cluster`` to certify the round counts charged there are
+achievable under real memory limits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.mpc.machine import Machine, MachineMemoryError
+from repro.utils.validation import check_positive_int
+
+#: A message is (destination machine id, payload).
+Message = "tuple[int, Any]"
+
+
+class Cluster:
+    """A fleet of memory-capped machines executing synchronous rounds."""
+
+    def __init__(self, machine_count: int, memory: int):
+        machine_count = check_positive_int(machine_count, "machine_count")
+        memory = check_positive_int(memory, "memory")
+        self.machines = [Machine(i, memory) for i in range(machine_count)]
+        self.memory = memory
+        self.rounds_executed = 0
+
+    @property
+    def machine_count(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_capacity(self) -> int:
+        return self.machine_count * self.memory
+
+    # -- data placement ---------------------------------------------------------
+
+    def scatter(self, items: Iterable[Any]) -> None:
+        """Distribute ``items`` over machines (adversarial placement in the
+        model; here: round-robin, which the algorithms may not rely on)."""
+        items = list(items)
+        if len(items) > self.total_capacity:
+            raise MachineMemoryError(
+                f"{len(items)} items exceed total capacity {self.total_capacity}"
+            )
+        for index, item in enumerate(items):
+            self.machines[index % self.machine_count].store(item)
+
+    def all_items(self) -> "list[Any]":
+        """Gather every item (inspection only — not an MPC operation)."""
+        out: list[Any] = []
+        for machine in self.machines:
+            out.extend(machine.items)
+        return out
+
+    def loads(self) -> "list[int]":
+        return [m.load for m in self.machines]
+
+    # -- round execution ----------------------------------------------------------
+
+    def round(
+        self,
+        compute: Callable[[int, "list[Any]"], "list[Message]"],
+    ) -> None:
+        """Execute one MPC round.
+
+        ``compute(machine_id, items) -> [(dest, payload), ...]`` runs locally
+        on each machine with its current items; items not re-sent are
+        dropped (machines must explicitly keep state by addressing
+        themselves).  Send and receive volumes are checked against the
+        memory cap, then messages are delivered.
+        """
+        outboxes: list[list[Message]] = []
+        for machine in self.machines:
+            messages = list(compute(machine.machine_id, machine.take_all()))
+            if len(messages) > self.memory:
+                raise MachineMemoryError(
+                    f"machine {machine.machine_id} sends {len(messages)} "
+                    f"messages > memory {self.memory}"
+                )
+            outboxes.append(messages)
+
+        inboxes: list[list[Any]] = [[] for _ in self.machines]
+        for messages in outboxes:
+            for dest, payload in messages:
+                if not 0 <= dest < self.machine_count:
+                    raise ValueError(f"bad destination machine {dest}")
+                inboxes[dest].append(payload)
+
+        for machine, inbox in zip(self.machines, inboxes):
+            if len(inbox) > self.memory:
+                raise MachineMemoryError(
+                    f"machine {machine.machine_id} receives {len(inbox)} "
+                    f"messages > memory {self.memory}"
+                )
+            machine.store_many(inbox)
+
+        self.rounds_executed += 1

@@ -1,0 +1,58 @@
+"""A single MPC machine with an enforced memory cap."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.utils.validation import check_positive_int
+
+
+class MachineMemoryError(RuntimeError):
+    """Raised when a machine would exceed its memory, or when a round's
+    send/receive volume exceeds the per-round communication limit (which the
+    MPC model ties to the memory size)."""
+
+
+class Machine:
+    """Holds up to ``memory`` items (one item = one word in the model)."""
+
+    def __init__(self, machine_id: int, memory: int):
+        self.machine_id = machine_id
+        self.memory = check_positive_int(memory, "memory")
+        self._items: list[Any] = []
+
+    @property
+    def items(self) -> "list[Any]":
+        return self._items
+
+    @property
+    def load(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.memory - self.load
+
+    def store(self, item: Any) -> None:
+        if self.load + 1 > self.memory:
+            raise MachineMemoryError(
+                f"machine {self.machine_id} over memory: {self.load + 1} > {self.memory}"
+            )
+        self._items.append(item)
+
+    def store_many(self, items: Iterable[Any]) -> None:
+        items = list(items)
+        if self.load + len(items) > self.memory:
+            raise MachineMemoryError(
+                f"machine {self.machine_id} over memory: "
+                f"{self.load + len(items)} > {self.memory}"
+            )
+        self._items.extend(items)
+
+    def take_all(self) -> "list[Any]":
+        """Remove and return all items (used between rounds)."""
+        items, self._items = self._items, []
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine(id={self.machine_id}, load={self.load}/{self.memory})"

@@ -1,0 +1,25 @@
+"""Graph products: parallel expander construction, replacement, zig-zag."""
+
+from repro.products.expanders import (
+    DEFAULT_EXPANDER_DEGREE,
+    PAPER_EXPANDER_DEGREE,
+    build_expander,
+    circulant_multigraph,
+    friedman_gap_threshold,
+    regular_graph_construction,
+)
+from repro.products.replacement import ReplacementProduct, replacement_product
+from repro.products.zigzag import ZigZagProduct, zigzag_product
+
+__all__ = [
+    "DEFAULT_EXPANDER_DEGREE",
+    "PAPER_EXPANDER_DEGREE",
+    "friedman_gap_threshold",
+    "circulant_multigraph",
+    "build_expander",
+    "regular_graph_construction",
+    "ReplacementProduct",
+    "replacement_product",
+    "ZigZagProduct",
+    "zigzag_product",
+]

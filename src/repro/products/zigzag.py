@@ -1,0 +1,80 @@
+"""The zig-zag product ``G z H`` on non-regular base graphs (Appendix C).
+
+Same vertex set as the replacement product; ``(u, i)`` is joined to
+``(v, j)`` whenever the replacement product contains the length-3 path
+cloud-step, inter-cloud step, cloud-step between them.  The result is
+``d²``-regular on ``2m`` vertices, and Proposition C.1 gives
+``λ₂(G z H) ≥ λ₂(G) · λ_H²``.
+
+The zig-zag product is used by the paper only as the analysis vehicle for
+Proposition 4.2 (the replacement-product gap bound is derived from it via
+``W_r³``); it is implemented here so that both appendix propositions can be
+verified empirically (bench E4 and the product tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class ZigZagProduct:
+    graph: Graph
+    cloud_of: np.ndarray
+    cloud_degree: int
+
+
+def zigzag_product(base: Graph, clouds: "dict[int, Graph]") -> ZigZagProduct:
+    """Construct ``G z H`` (Appendix C definition).
+
+    Same cloud conventions as
+    :func:`repro.products.replacement.replacement_product`.  Quadratic in
+    the cloud degree per base edge (``d²`` product edges each), so intended
+    for the appendix verification experiments, not the pipeline.
+    """
+    from repro.products.replacement import replacement_product
+
+    rp = replacement_product(base, clouds)
+    d = rp.cloud_degree
+    degrees = np.asarray(base.degrees)
+    offsets = np.zeros(base.n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+
+    # Cloud adjacency lookup per distinct degree: neighbour lists in port
+    # order, as a (size, d) matrix.
+    cloud_neighbors: "dict[int, np.ndarray]" = {}
+    for size in np.unique(degrees):
+        size = int(size)
+        cloud = clouds[size]
+        mat = np.empty((size, d), dtype=np.int64)
+        for vertex in range(size):
+            mat[vertex] = cloud.neighbors(vertex)
+        cloud_neighbors[size] = mat
+
+    # Middle (inter-cloud) edges, one per base edge: slot pairs (a, b) with
+    # a < b = twin(a); product vertices are the slot indices themselves.
+    twins = base.twin_slot
+    slots = np.flatnonzero(np.arange(twins.size) < twins)
+    ends_a = slots
+    ends_b = twins[slots]
+
+    owner = np.repeat(np.arange(base.n, dtype=np.int64), degrees)
+
+    blocks = []
+    for a, b in zip(ends_a.tolist(), ends_b.tolist()):
+        u, v = int(owner[a]), int(owner[b])
+        neigh_u = cloud_neighbors[int(degrees[u])][a - offsets[u]] + offsets[u]
+        neigh_v = cloud_neighbors[int(degrees[v])][b - offsets[v]] + offsets[v]
+        left = np.repeat(neigh_u, d)
+        right = np.tile(neigh_v, d)
+        blocks.append(np.stack([left, right], axis=1))
+
+    edges = (
+        np.concatenate(blocks, axis=0) if blocks else np.empty((0, 2), dtype=np.int64)
+    )
+    graph = Graph(int(offsets[-1]), edges)
+    return ZigZagProduct(graph=graph, cloud_of=rp.cloud_of, cloud_degree=d)

@@ -1,0 +1,23 @@
+"""Linear-sketching substrate: hashing, sparse recovery, L0 sampling, AGM."""
+
+from repro.sketch.agm import (
+    AGMSketch,
+    RoundSketch,
+    agm_connected_components,
+)
+from repro.sketch.hashing import MERSENNE_P, KWiseHash, sign_hash
+from repro.sketch.l0_sampler import L0Sampler
+from repro.sketch.one_sparse import OneSparseRecovery
+from repro.sketch.sparse_recovery import SparseRecovery
+
+__all__ = [
+    "MERSENNE_P",
+    "KWiseHash",
+    "sign_hash",
+    "OneSparseRecovery",
+    "SparseRecovery",
+    "L0Sampler",
+    "AGMSketch",
+    "RoundSketch",
+    "agm_connected_components",
+]

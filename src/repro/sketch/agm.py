@@ -1,0 +1,266 @@
+"""The AGM graph-connectivity sketch (Ahn–Guha–McGregor; Proposition 8.1).
+
+Every vertex ``u`` summarises its incidence vector — ``+1`` on edge
+``(u, v)`` with ``u < v``, ``-1`` with ``u > v`` — into an L0-sampling
+sketch of ``O(log³ n)`` bits.  Sketches are *linear*, so the sum of the
+sketches of a vertex set ``S`` sketches the incidence vector of ``S``, in
+which internal edges cancel and exactly the cut edges ``∂S`` survive.  A
+coordinator can therefore run Borůvka purely on sketch sums: each round it
+samples one cut edge per current component and merges; ``O(log n)`` rounds
+with a *fresh* sketch per round (to keep samples independent of earlier
+merges) find the components w.h.p.
+
+Implementation notes: all per-vertex samplers of one Borůvka round live in
+four numpy arrays (counters indexed ``vertex × level × row × column``), so
+building from an edge array and summing by component label are single
+vectorised scatters.  The shared hash seeds are the "polylog(n) shared
+random bits" of Prop. 8.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import canonical_labels
+from repro.graph.graph import Graph
+from repro.sketch.hashing import MERSENNE_P, KWiseHash
+from repro.sketch.one_sparse import _pow_mod
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+_P = np.uint64(MERSENNE_P)
+
+
+@dataclass
+class RoundSketch:
+    """All vertices' L0 sketches for one Borůvka round.
+
+    ``totals/moments/fingers`` have shape ``(n, levels, rows, cols)``;
+    fingerprints are kept reduced mod p.
+    """
+
+    n: int
+    universe: int
+    level_hash: KWiseHash
+    row_hashes: "list[KWiseHash]"
+    fingerprint_base: int
+    totals: np.ndarray
+    moments: np.ndarray
+    fingers: np.ndarray
+
+    @property
+    def shape(self) -> "tuple[int, int, int]":
+        return self.totals.shape[1:]
+
+    def words_per_vertex(self) -> int:
+        levels, rows, cols = self.shape
+        return 3 * levels * rows * cols
+
+
+def _build_round_sketch(
+    graph: Graph,
+    *,
+    rng,
+    sparsity: int,
+    rows: int,
+) -> RoundSketch:
+    n = graph.n
+    universe = n * n
+    if universe >= MERSENNE_P:
+        raise ValueError(
+            f"edge universe {universe} exceeds the hash field; "
+            f"AGM sketches here support n <= {int(MERSENNE_P**0.5)}"
+        )
+    levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
+    cols = 2 * sparsity
+    level_hash = KWiseHash(2, rng)
+    row_hashes = [KWiseHash(2, rng) for _ in range(rows)]
+    fingerprint_base = int(ensure_rng(rng).integers(2, MERSENNE_P - 1))
+
+    totals = np.zeros((n, levels, rows, cols), dtype=np.int64)
+    moments = np.zeros((n, levels, rows, cols), dtype=np.int64)
+    fingers = np.zeros((n, levels, rows, cols), dtype=np.int64)
+
+    edges = graph.edges
+    if edges.shape[0]:
+        u = edges[:, 0]
+        v = edges[:, 1]
+        keep = u != v  # self-loops carry no connectivity information
+        u, v = u[keep], v[keep]
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        edge_ids = lo * n + hi
+        # Two incidence updates per edge: +1 at the smaller endpoint's
+        # sketch, -1 at the larger's.
+        owners = np.concatenate([lo, hi])
+        ids = np.concatenate([edge_ids, edge_ids])
+        weights = np.concatenate(
+            [np.ones(lo.size, np.int64), -np.ones(hi.size, np.int64)]
+        )
+
+        depth = level_hash.level(ids, levels - 1)
+        powers = _pow_mod(
+            np.full(ids.shape, fingerprint_base), ids, MERSENNE_P
+        ).astype(np.int64)
+        finger_contrib = np.where(weights > 0, powers, (MERSENNE_P - powers) % MERSENNE_P)
+
+        for row_index, hasher in enumerate(row_hashes):
+            col = (hasher.values(ids) % np.uint64(cols)).astype(np.int64)
+            for lvl in range(levels):
+                mask = depth >= lvl
+                if not mask.any():
+                    continue
+                flat_index = (
+                    owners[mask] * (levels * rows * cols)
+                    + lvl * (rows * cols)
+                    + row_index * cols
+                    + col[mask]
+                )
+                np.add.at(totals.reshape(-1), flat_index, weights[mask])
+                np.add.at(moments.reshape(-1), flat_index, weights[mask] * ids[mask])
+                np.add.at(fingers.reshape(-1), flat_index, finger_contrib[mask])
+        fingers %= MERSENNE_P
+
+    return RoundSketch(
+        n=n,
+        universe=universe,
+        level_hash=level_hash,
+        row_hashes=row_hashes,
+        fingerprint_base=fingerprint_base,
+        totals=totals,
+        moments=moments,
+        fingers=fingers,
+    )
+
+
+@dataclass
+class AGMSketch:
+    """A stack of fresh per-round sketches for Borůvka decoding."""
+
+    n: int
+    rounds: "list[RoundSketch]"
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        rng=None,
+        *,
+        boruvka_rounds: "int | None" = None,
+        sparsity: int = 4,
+        rows: int = 3,
+    ) -> "AGMSketch":
+        rng = ensure_rng(rng)
+        check_positive_int(sparsity, "sparsity")
+        check_positive_int(rows, "rows")
+        if boruvka_rounds is None:
+            boruvka_rounds = max(2, int(np.ceil(np.log2(max(graph.n, 2)))) + 3)
+        sketches = [
+            _build_round_sketch(graph, rng=rng, sparsity=sparsity, rows=rows)
+            for _ in range(boruvka_rounds)
+        ]
+        return cls(n=graph.n, rounds=sketches)
+
+    def words_per_vertex(self) -> int:
+        """Sketch size per vertex in machine words (the O(log³ n)-bit
+        message of Prop. 8.1)."""
+        return sum(r.words_per_vertex() for r in self.rounds)
+
+
+def _sample_cut_edges(
+    sketch: RoundSketch, labels: np.ndarray
+) -> "dict[int, tuple[int, int]]":
+    """For every component of ``labels``, decode one (verified) cut edge
+    from the component-summed sketch.  Returns ``{component: (u, v)}``."""
+    k = int(labels.max()) + 1
+    levels, rows, cols = sketch.shape
+    cells = levels * rows * cols
+
+    totals = np.zeros((k, cells), dtype=np.int64)
+    moments = np.zeros((k, cells), dtype=np.int64)
+    fingers = np.zeros((k, cells), dtype=np.int64)
+    np.add.at(totals, labels, sketch.totals.reshape(sketch.n, cells))
+    np.add.at(moments, labels, sketch.moments.reshape(sketch.n, cells))
+    np.add.at(fingers, labels, sketch.fingers.reshape(sketch.n, cells))
+    fingers %= MERSENNE_P
+
+    nonzero = totals != 0
+    safe_totals = np.where(nonzero, totals, 1)
+    indices = moments // safe_totals
+    exact = nonzero & (indices * safe_totals == moments)
+    in_range = exact & (indices >= 0) & (indices < sketch.universe)
+
+    candidates = np.flatnonzero(in_range.reshape(-1))
+    if candidates.size == 0:
+        return {}
+    flat_idx = indices.reshape(-1)[candidates]
+    flat_tot = totals.reshape(-1)[candidates]
+    flat_fin = fingers.reshape(-1)[candidates]
+    powers = _pow_mod(
+        np.full(flat_idx.shape, sketch.fingerprint_base), flat_idx, MERSENNE_P
+    ).astype(np.int64)
+    expected = ((flat_tot % MERSENNE_P) * powers) % MERSENNE_P
+    verified = expected == flat_fin
+
+    samples: "dict[int, tuple[int, int]]" = {}
+    # Prefer deeper levels (sparser sub-vectors) by scanning from the end.
+    order = candidates[verified][::-1]
+    comp_of = order // cells
+    ids = indices.reshape(-1)[order]
+    for comp, edge_id in zip(comp_of.tolist(), ids.tolist()):
+        samples[comp] = (edge_id // sketch.n, edge_id % sketch.n)
+    return samples
+
+
+def agm_connected_components(
+    graph: Graph,
+    rng=None,
+    *,
+    sketch: "AGMSketch | None" = None,
+    sparsity: int = 4,
+    rows: int = 3,
+) -> "tuple[np.ndarray, AGMSketch]":
+    """Connected components via Borůvka over linear sketches (Prop. 8.1).
+
+    Builds the sketch from ``graph`` (or uses a prebuilt one) and decodes
+    components without ever touching the edges again — the coordinator in
+    Theorem 2 sees only the ``O(log³ n)``-bit vertex messages.
+
+    Returns ``(labels, sketch)``.  Raises if the per-round sample fails to
+    converge (probability vanishing in the number of rounds).
+    """
+    rng = ensure_rng(rng)
+    if sketch is None:
+        sketch = AGMSketch.from_graph(graph, rng, sparsity=sparsity, rows=rows)
+    labels = np.arange(graph.n, dtype=np.int64)
+
+    for round_sketch in sketch.rounds:
+        samples = _sample_cut_edges(round_sketch, labels)
+        if not samples:
+            return canonical_labels(labels), sketch
+        # Merge every sampled cut edge (DSU semantics via repeated min).
+        k = int(labels.max()) + 1
+        parent = np.arange(k, dtype=np.int64)
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for comp, (u, v) in samples.items():
+            ru, rv = find(int(labels[u])), find(int(labels[v]))
+            if ru != rv:
+                parent[max(ru, rv)] = min(ru, rv)
+        roots = np.array([find(int(c)) for c in range(k)], dtype=np.int64)
+        labels = canonical_labels(roots[labels])
+
+    # Rounds exhausted: verify quiescence with the last sketch.
+    if _sample_cut_edges(sketch.rounds[-1], labels):
+        raise RuntimeError(
+            "AGM decoding exhausted its Boruvka rounds before converging; "
+            "rebuild the sketch with more rounds"
+        )
+    return canonical_labels(labels), sketch

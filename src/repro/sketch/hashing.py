@@ -1,0 +1,74 @@
+"""k-wise independent hashing over a Mersenne prime field.
+
+The AGM sketch (Proposition 8.1) needs limited-independence hash families
+with *small shared seeds* — the "polylog(n) shared random bits" of the
+proposition.  A degree-``(k-1)`` polynomial with random coefficients over
+``F_p`` is the textbook k-wise independent family; we use ``p = 2^31 - 1``
+so Horner steps fit in uint64 without overflow (inputs must be < p, which
+covers edge universes up to ``n ≤ 46340`` — the sublinear-memory regime the
+Theorem 2 experiments run in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: The field modulus (Mersenne prime 2^31 - 1).
+MERSENNE_P = (1 << 31) - 1
+
+
+class KWiseHash:
+    """A k-wise independent hash ``h: [p] -> [p]``.
+
+    Evaluation is vectorised Horner over uint64; the seed is the ``k``
+    coefficient words (``k · 31`` bits — polylogarithmic, as Prop. 8.1
+    requires of its shared randomness).
+    """
+
+    def __init__(self, k: int, rng=None):
+        k = check_positive_int(k, "k")
+        rng = ensure_rng(rng)
+        self.k = k
+        # Leading coefficient nonzero to keep full degree.
+        coeffs = rng.integers(0, MERSENNE_P, size=k, dtype=np.uint64)
+        if k > 1 and coeffs[0] == 0:
+            coeffs[0] = 1
+        self.coefficients = coeffs
+
+    def values(self, x: np.ndarray) -> np.ndarray:
+        """``h(x)`` for an integer array ``x`` (entries must be < p)."""
+        x = np.asarray(x, dtype=np.uint64)
+        if x.size and int(x.max()) >= MERSENNE_P:
+            raise ValueError(f"hash inputs must be < {MERSENNE_P}")
+        acc = np.full(x.shape, int(self.coefficients[0]), dtype=np.uint64)
+        for c in self.coefficients[1:]:
+            acc = (acc * x + np.uint64(c)) % np.uint64(MERSENNE_P)
+        return acc
+
+    def value(self, x: int) -> int:
+        return int(self.values(np.array([x]))[0])
+
+    def uniform_floats(self, x: np.ndarray) -> np.ndarray:
+        """Map ``h(x)`` into ``[0, 1)`` — k-wise independent uniforms."""
+        return self.values(x).astype(np.float64) / MERSENNE_P
+
+    def level(self, x: np.ndarray, max_level: int) -> np.ndarray:
+        """Geometric levels: ``level(x) = ℓ`` with probability ``2^{-ℓ-1}``
+        (clamped to ``max_level``) — the subsampling depth used by L0
+        samplers."""
+        max_level = check_positive_int(max_level, "max_level")
+        u = self.uniform_floats(x)
+        # u in [2^-(l+1), 2^-l) -> level l.
+        with np.errstate(divide="ignore"):
+            levels = np.floor(-np.log2(np.maximum(u, 2.0**-60))).astype(np.int64)
+        return np.minimum(levels, max_level)
+
+
+def sign_hash(values: np.ndarray) -> np.ndarray:
+    """±1 from hash values (parity of the low bit)."""
+    return np.where(np.asarray(values, dtype=np.uint64) & np.uint64(1), 1, -1).astype(
+        np.int64
+    )

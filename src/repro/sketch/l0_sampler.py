@@ -1,0 +1,112 @@
+"""L0 sampling: recover a nonzero coordinate of an arbitrary vector.
+
+Standard geometric-subsampling construction: level ``ℓ`` keeps each index
+with probability ``2^{-ℓ-1}`` (decided by a shared hash, so merging
+sketches keeps levels aligned), and stores an ``s``-sparse recovery of the
+surviving sub-vector.  Whatever the support size ``k``, the level with
+``2^{-ℓ-1} k ≈ s/2`` is ``s``-sparse with constant probability, so some
+level decodes; independent repetitions drive the failure probability down.
+
+The AGM connectivity algorithm needs *any* nonzero coordinate (an arbitrary
+cut edge), not an ε-uniform one, so :meth:`L0Sampler.sample` returns the
+first coordinate that verifiably decodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash
+from repro.sketch.sparse_recovery import SparseRecovery
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class L0Sampler:
+    """Linear sketch supporting ``sample() -> (index, weight) | None``."""
+
+    universe: int
+    level_hash: KWiseHash
+    levels: "list[SparseRecovery]"
+
+    @classmethod
+    def fresh(
+        cls,
+        universe: int,
+        rng=None,
+        *,
+        sparsity: int = 8,
+        row_count: int = 4,
+    ) -> "L0Sampler":
+        universe = check_positive_int(universe, "universe")
+        rng = ensure_rng(rng)
+        level_count = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
+        level_hash = KWiseHash(2, rng)
+        levels = [
+            SparseRecovery.fresh(universe, sparsity, rng, row_count=row_count)
+            for _ in range(level_count)
+        ]
+        return cls(universe=universe, level_hash=level_hash, levels=levels)
+
+    @property
+    def level_count(self) -> int:
+        return len(self.levels)
+
+    def word_count(self) -> int:
+        """Machine words stored — measures the O(log³ n) message size of
+        Prop. 8.1 (levels × rows × columns × 3 counters)."""
+        return sum(3 * sr.cell_count for sr in self.levels)
+
+    # -- updates ----------------------------------------------------------
+
+    def update_many(self, indices: np.ndarray, weights: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if indices.size == 0:
+            return
+        # Index at level l survives iff its geometric depth >= l; level 0
+        # sees everything.
+        depth = self.level_hash.level(indices, self.level_count - 1)
+        for lvl, recovery in enumerate(self.levels):
+            mask = depth >= lvl
+            if mask.any():
+                recovery.update_many(indices[mask], weights[mask])
+
+    def update(self, index: int, weight: int) -> None:
+        self.update_many(np.array([index]), np.array([weight]))
+
+    # -- linearity -----------------------------------------------------------
+
+    def merge(self, other: "L0Sampler") -> "L0Sampler":
+        if self.universe != other.universe or self.level_count != other.level_count:
+            raise ValueError("cannot merge incompatible L0 samplers")
+        if self.level_hash is not other.level_hash and not np.array_equal(
+            self.level_hash.coefficients, other.level_hash.coefficients
+        ):
+            raise ValueError("cannot merge L0 samplers with different level hashes")
+        merged = [a.merge(b) for a, b in zip(self.levels, other.levels)]
+        return L0Sampler(
+            universe=self.universe, level_hash=self.level_hash, levels=merged
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def sample(self) -> "tuple[int, int] | None":
+        """A verified nonzero coordinate, or None (zero vector / failure).
+
+        Scans from the deepest (sparsest) level down so the decoded support
+        is small; falls back to any one-sparse cell hit.
+        """
+        for recovery in reversed(self.levels):
+            support = recovery.decode()
+            if support:
+                index = next(iter(support))
+                return index, support[index]
+        for recovery in reversed(self.levels):
+            hit = recovery.sample_nonzero()
+            if hit is not None:
+                return hit
+        return None

@@ -1,0 +1,139 @@
+"""s-sparse recovery: a hashed grid of one-sparse detectors.
+
+``rows × columns`` one-sparse cells; each row hashes every index into one
+of ``2s`` columns with a pairwise-independent hash.  If the underlying
+vector has at most ``s`` nonzero coordinates, each one is isolated in some
+row with constant probability per row, so ``O(log(s/δ))`` rows recover the
+full support with probability ``1-δ``.  All cells are linear, so grids
+merge coordinate-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash
+from repro.sketch.one_sparse import OneSparseRecovery
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class SparseRecovery:
+    """Recover vectors with ≤ ``sparsity`` nonzero entries."""
+
+    universe: int
+    sparsity: int
+    rows: "list[list[OneSparseRecovery]]"
+    hashes: "list[KWiseHash]"
+
+    @classmethod
+    def fresh(
+        cls,
+        universe: int,
+        sparsity: int,
+        rng=None,
+        *,
+        row_count: "int | None" = None,
+    ) -> "SparseRecovery":
+        universe = check_positive_int(universe, "universe")
+        sparsity = check_positive_int(sparsity, "sparsity")
+        rng = ensure_rng(rng)
+        if row_count is None:
+            row_count = max(4, int(np.ceil(np.log2(max(universe, 2)))))
+        columns = 2 * sparsity
+        rows = []
+        hashes = []
+        for _ in range(row_count):
+            rows.append([OneSparseRecovery.fresh(universe, rng) for _ in range(columns)])
+            hashes.append(KWiseHash(2, rng))
+        return cls(universe=universe, sparsity=sparsity, rows=rows, hashes=hashes)
+
+    @property
+    def column_count(self) -> int:
+        return 2 * self.sparsity
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.rows) * self.column_count
+
+    # -- updates -------------------------------------------------------------
+
+    def update_many(self, indices: np.ndarray, weights: np.ndarray) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if indices.size == 0:
+            return
+        for row, hasher in zip(self.rows, self.hashes):
+            cols = hasher.values(indices) % np.uint64(self.column_count)
+            for col in np.unique(cols):
+                mask = cols == col
+                row[int(col)].update_many(indices[mask], weights[mask])
+
+    def update(self, index: int, weight: int) -> None:
+        self.update_many(np.array([index]), np.array([weight]))
+
+    # -- linearity -------------------------------------------------------------
+
+    def merge(self, other: "SparseRecovery") -> "SparseRecovery":
+        if self.universe != other.universe or self.sparsity != other.sparsity:
+            raise ValueError("cannot merge incompatible sparse recoveries")
+        merged_rows = []
+        for row_a, row_b in zip(self.rows, other.rows):
+            merged_rows.append([a.merge(b) for a, b in zip(row_a, row_b)])
+        return SparseRecovery(
+            universe=self.universe,
+            sparsity=self.sparsity,
+            rows=merged_rows,
+            hashes=self.hashes,
+        )
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode(self) -> "dict[int, int] | None":
+        """The full support map ``{index: weight}`` if the vector is
+        ``s``-sparse (verified by re-hashing); None when recovery fails
+        or the vector is visibly denser than ``s``."""
+        candidates: "dict[int, int]" = {}
+        for row, hasher in zip(self.rows, self.hashes):
+            for cell in row:
+                decoded = cell.decode()
+                if decoded is not None:
+                    index, weight = decoded
+                    candidates[index] = weight
+        if len(candidates) > self.sparsity:
+            return None
+        # Verify: re-subtracting the candidates must zero every cell.
+        if candidates:
+            indices = np.fromiter(candidates.keys(), dtype=np.int64)
+            weights = -np.fromiter(candidates.values(), dtype=np.int64)
+        for row, hasher in zip(self.rows, self.hashes):
+            residual = [
+                OneSparseRecovery(
+                    universe=cell.universe,
+                    fingerprint_base=cell.fingerprint_base,
+                    total=cell.total,
+                    moment=cell.moment,
+                    finger=cell.finger,
+                )
+                for cell in row
+            ]
+            if candidates:
+                cols = hasher.values(indices) % np.uint64(self.column_count)
+                for col in np.unique(cols):
+                    mask = cols == col
+                    residual[int(col)].update_many(indices[mask], weights[mask])
+            if not all(cell.is_zero for cell in residual):
+                return None
+        return candidates
+
+    def sample_nonzero(self) -> "tuple[int, int] | None":
+        """Any one verifiably nonzero coordinate (enough for Borůvka)."""
+        for row in self.rows:
+            for cell in row:
+                decoded = cell.decode()
+                if decoded is not None:
+                    return decoded
+        return None

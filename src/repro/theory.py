@@ -1,0 +1,111 @@
+"""Predicted round-complexity formulas from the paper's theorem statements.
+
+The benches print these next to the measured round counts so the *shape*
+comparison (who wins, where curves flatten) is explicit.  All formulas are
+asymptotic — the returned values carry a free constant ``c`` that benches
+fit on their smallest data point, then extrapolate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def theorem1_rounds(n: int, gap: float, *, delta: float = 0.25, c: float = 1.0) -> float:
+    """Theorem 1/4: ``O((1/δ)(log log n + log(1/λ)))``."""
+    n = check_positive_int(n, "n")
+    gap = check_in_range(gap, "gap", 1e-12, 2.0)
+    loglog = math.log2(max(2.0, math.log2(max(n, 4))))
+    return c * (loglog + math.log2(1.0 / gap)) / delta
+
+
+def theorem2_rounds(n: int, memory: int, *, c: float = 1.0) -> float:
+    """Theorem 2: ``O(log log n + log(n/s))``."""
+    n = check_positive_int(n, "n")
+    memory = check_positive_int(memory, "memory")
+    loglog = math.log2(max(2.0, math.log2(max(n, 4))))
+    return c * (loglog + math.log2(max(2.0, n / memory)))
+
+
+def corollary71_rounds(n: int, gap: float, *, delta: float = 0.25, c: float = 1.0) -> float:
+    """Corollary 7.1: ``O((1/δ)(log log n · log log(1/λ) + log(1/λ)))``."""
+    n = check_positive_int(n, "n")
+    gap = check_in_range(gap, "gap", 1e-12, 1.0)
+    loglog_n = math.log2(max(2.0, math.log2(max(n, 4))))
+    log_inv = math.log2(max(2.0, 1.0 / gap))
+    loglog_inv = math.log2(max(2.0, log_inv))
+    return c * (loglog_n * loglog_inv + log_inv) / delta
+
+
+def classical_pram_rounds(n: int, *, c: float = 1.0) -> float:
+    """The Ω(log n) of three decades of PRAM algorithms [25, 30, 35, 49, 57]."""
+    n = check_positive_int(n, "n")
+    return c * math.log2(max(n, 2))
+
+
+def lower_bound_rounds(n: int, memory: int, *, c: float = 1.0) -> float:
+    """Theorem 5: ``Ω(log_s n)`` rounds for ExpanderConn with memory s."""
+    n = check_positive_int(n, "n")
+    memory = check_positive_int(memory, "memory")
+    if memory < 2:
+        raise ValueError("memory must be >= 2")
+    return c * math.log(max(n, 2)) / math.log(memory)
+
+
+def lower_bound_queries(n: int, *, c: float = 1.0) -> float:
+    """Lemma 9.3: ``DT(ExpanderConn) = Ω(n / log n)``."""
+    n = check_positive_int(n, "n")
+    return c * n / math.log2(max(n, 4))
+
+
+def dt_to_approx_degree(decision_tree_complexity: float) -> float:
+    """Proposition 9.2 (Beals et al. / Nisan–Szegedy):
+    ``deg̃_{1/3}(f) = Ω(DT(f)^{1/6})``."""
+    if decision_tree_complexity < 0:
+        raise ValueError("decision tree complexity must be >= 0")
+    return decision_tree_complexity ** (1.0 / 6.0)
+
+
+def approx_degree_to_mpc_rounds(approx_degree: float, memory: int) -> float:
+    """Proposition 9.1 (Roughgarden–Vassilvitskii–Wang), inverted: an
+    r-round, s-memory MPC algorithm computes only functions with
+    ``deg̃ ≤ s^{Θ(r)}``, so ``r = Ω(log_s(deg̃))``."""
+    memory = check_positive_int(memory, "memory")
+    if memory < 2:
+        raise ValueError("memory must be >= 2")
+    if approx_degree < 1:
+        return 0.0
+    return math.log(approx_degree) / math.log(memory)
+
+
+def expander_conn_round_lower_bound(n: int, memory: int) -> float:
+    """Theorem 5's full chain: ``DT(ExpanderConn) = Ω(n/log n)``
+    (Lemma 9.3) → ``deg̃ = Ω((n/log n)^{1/6})`` (Prop 9.2) →
+    ``rounds = Ω(log_s n)`` (Prop 9.1).  Returns the chained numeric
+    value (the 1/6 shows up as a constant inside the Ω)."""
+    n = check_positive_int(n, "n")
+    dt = lower_bound_queries(n)
+    return approx_degree_to_mpc_rounds(dt_to_approx_degree(dt), memory)
+
+
+def pram_lower_bound_rounds(n: int, *, c: float = 1.0) -> float:
+    """Remark 9.5: ExpanderConn is a critical function of
+    ``k = Ω(n/log n)`` variables (one per hard-family expander), so EREW
+    PRAM needs ``Ω(log k) = Ω(log n)`` steps (Cook–Dwork–Reischuk,
+    Parberry–Yan)."""
+    n = check_positive_int(n, "n")
+    k = max(2.0, n / math.log2(max(n, 4)))
+    return c * math.log2(k)
+
+
+def fit_constant(measured: "list[float]", predicted: "list[float]") -> float:
+    """Least-squares scale ``c`` minimising ``Σ (m - c·p)²``."""
+    if len(measured) != len(predicted) or not measured:
+        raise ValueError("need equal-length nonempty series")
+    num = sum(m * p for m, p in zip(measured, predicted))
+    den = sum(p * p for p in predicted)
+    if den == 0:
+        raise ValueError("predicted series is identically zero")
+    return num / den

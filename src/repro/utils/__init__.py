@@ -1,0 +1,18 @@
+"""Shared utilities: RNG discipline and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+]

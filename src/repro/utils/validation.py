@@ -1,0 +1,49 @@
+"""Small argument validators shared across the library.
+
+These raise ``ValueError``/``TypeError`` with messages naming the offending
+argument, so failures at the public API surface are self-explanatory.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as ``float``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval ``[low, high]``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,138 @@
+"""Tests for the AGM connectivity sketch (Proposition 8.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    community_graph,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    paper_random_graph,
+    path_graph,
+    permutation_regular_graph,
+    planted_expander_components,
+    star_graph,
+)
+from repro.sketch import AGMSketch, agm_connected_components
+
+
+class TestDecodingCorrectness:
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        labels, _ = agm_connected_components(g, rng=0)
+        assert labels[0] == labels[1]
+
+    def test_path(self):
+        g = path_graph(20)
+        labels, _ = agm_connected_components(g, rng=1)
+        assert np.all(labels == 0)
+
+    def test_cycle(self):
+        g = cycle_graph(30)
+        labels, _ = agm_connected_components(g, rng=2)
+        assert np.all(labels == 0)
+
+    def test_star(self):
+        g = star_graph(40)
+        labels, _ = agm_connected_components(g, rng=3)
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labels, _ = agm_connected_components(g, rng=4)
+        assert components_agree(labels, connected_components(g))
+
+    def test_isolated_vertices(self):
+        g = Graph(5, [(0, 1)])
+        labels, _ = agm_connected_components(g, rng=5)
+        assert components_agree(labels, connected_components(g))
+
+    def test_empty_graph(self):
+        g = Graph(4, [])
+        labels, _ = agm_connected_components(g, rng=6)
+        assert np.array_equal(labels, np.arange(4))
+
+    def test_self_loops_and_multiedges(self):
+        g = Graph(3, [(0, 0), (0, 1), (0, 1), (1, 2)])
+        labels, _ = agm_connected_components(g, rng=7)
+        assert np.all(labels == 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_exact(self, seed):
+        g = paper_random_graph(80, 4, rng=seed)
+        labels, _ = agm_connected_components(g, rng=seed)
+        assert components_agree(labels, connected_components(g))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_components_exact(self, seed):
+        g, _ = planted_expander_components([20, 35, 15], 6, rng=seed)
+        labels, _ = agm_connected_components(g, rng=seed + 100)
+        assert components_agree(labels, connected_components(g))
+
+    def test_community_graph_exact(self):
+        g, _ = community_graph([30, 20, 10], 6, rng=8)
+        labels, _ = agm_connected_components(g, rng=8)
+        assert components_agree(labels, connected_components(g))
+
+
+class TestSketchProperties:
+    def test_prebuilt_sketch_reusable(self):
+        g = permutation_regular_graph(40, 6, rng=9)
+        sketch = AGMSketch.from_graph(g, rng=9)
+        labels, returned = agm_connected_components(g, rng=9, sketch=sketch)
+        assert returned is sketch
+        assert np.all(labels == 0)
+
+    def test_words_per_vertex_polylog(self):
+        """Message size grows polylogarithmically in n (Prop. 8.1's
+        O(log³ n) bits)."""
+        small = AGMSketch.from_graph(cycle_graph(32), rng=0).words_per_vertex()
+        large = AGMSketch.from_graph(cycle_graph(1024), rng=0).words_per_vertex()
+        # n grew 32x; words should grow by far less (levels+rounds only).
+        assert large < 4 * small
+
+    def test_words_follow_polylog_formula(self):
+        """words/vertex = rounds · 3 · levels · rows · cols — quadratic in
+        log n with our constant rows/cols, i.e. O(log³ n) bits."""
+        n = 256
+        sketch = AGMSketch.from_graph(cycle_graph(n), rng=0)
+        levels, rows, cols = sketch.rounds[0].shape
+        expected = len(sketch.rounds) * 3 * levels * rows * cols
+        assert sketch.words_per_vertex() == expected
+        assert levels == int(np.ceil(np.log2(n * n))) + 1
+
+    def test_universe_limit_enforced(self):
+        # n^2 must stay below the hash field size.
+        with pytest.raises(ValueError, match="universe"):
+            AGMSketch.from_graph(Graph(50_000, [(0, 1)]), rng=0)
+
+    def test_round_count_default(self):
+        g = cycle_graph(64)
+        sketch = AGMSketch.from_graph(g, rng=1)
+        assert len(sketch.rounds) >= int(np.log2(64))
+
+
+class TestLinearityAtGraphLevel:
+    def test_component_sums_cancel_internal_edges(self):
+        """The summed sketch of a full component decodes no cut edge
+        (its incidence vector is identically zero)."""
+        from repro.sketch.agm import _sample_cut_edges
+
+        g = permutation_regular_graph(30, 6, rng=10)
+        sketch = AGMSketch.from_graph(g, rng=10)
+        whole = np.zeros(30, dtype=np.int64)  # everything in one component
+        samples = _sample_cut_edges(sketch.rounds[0], whole)
+        assert samples == {}
+
+    def test_split_component_decodes_cut_edge(self):
+        from repro.sketch.agm import _sample_cut_edges
+
+        g = path_graph(10)
+        sketch = AGMSketch.from_graph(g, rng=11)
+        labels = np.array([0] * 5 + [1] * 5)
+        samples = _sample_cut_edges(sketch.rounds[0], labels)
+        assert set(samples) == {0, 1}
+        for u, v in samples.values():
+            assert {u, v} == {4, 5}  # the only cut edge

@@ -1,0 +1,79 @@
+"""Tests for the Appendix B balls-and-bins experiment (Proposition B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    nonempty_bins_interval,
+    prop_b1_failure_bound,
+    throw_balls,
+)
+
+
+class TestThrowBalls:
+    def test_counts_are_sane(self):
+        result = throw_balls(100, 10_000, rng=0)
+        assert 1 <= result.nonempty <= 100
+
+    def test_single_bin(self):
+        assert throw_balls(50, 1, rng=0).nonempty == 1
+
+    def test_more_bins_than_balls_mostly_distinct(self):
+        result = throw_balls(100, 1_000_000, rng=0)
+        assert result.nonempty >= 95
+
+    def test_perturbed_probabilities(self):
+        result = throw_balls(100, 10_000, eps=0.05, rng=0)
+        assert 1 <= result.nonempty <= 100
+
+    def test_reproducible(self):
+        a = throw_balls(500, 10_000, rng=42)
+        b = throw_balls(500, 10_000, rng=42)
+        assert a.nonempty == b.nonempty
+
+    def test_rejects_zero_balls(self):
+        with pytest.raises(ValueError):
+            throw_balls(0, 10)
+
+    def test_ratio(self):
+        r = throw_balls(10, 10_000_000, rng=1)
+        assert r.ratio == r.nonempty / 10
+
+
+class TestPropB1:
+    def test_interval_matches_paper(self):
+        iv = nonempty_bins_interval(1000, 0.05)
+        assert iv.low == pytest.approx(900)
+        assert iv.high == pytest.approx(1100)
+
+    def test_failure_bound_formula(self):
+        assert prop_b1_failure_bound(1000, 0.1) == pytest.approx(
+            np.exp(-0.01 * 1000 / 2)
+        )
+
+    def test_empirical_deviation_within_bound(self):
+        """Run the experiment many times in the N ≤ εB regime; the deviation
+        frequency must not exceed the Prop. B.1 bound (plus statistical
+        tolerance)."""
+        rng = np.random.default_rng(3)
+        eps = 0.1
+        balls = 2_000
+        bins = int(balls / eps)  # N = εB boundary case
+        iv = nonempty_bins_interval(balls, eps)
+        trials = 200
+        failures = 0
+        for _ in range(trials):
+            result = throw_balls(balls, bins, rng=rng)
+            if not iv.contains(result.nonempty):
+                failures += 1
+        bound = prop_b1_failure_bound(balls, eps)
+        assert failures / trials <= bound + 0.05
+
+    def test_near_uniform_perturbation_still_concentrates(self):
+        rng = np.random.default_rng(5)
+        eps = 0.1
+        balls, bins = 1_000, 50_000
+        iv = nonempty_bins_interval(balls, eps)
+        for _ in range(20):
+            result = throw_balls(balls, bins, eps=eps, rng=rng)
+            assert iv.contains(result.nonempty)

@@ -1,0 +1,106 @@
+"""Tests for the baseline connectivity algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    min_label_propagation,
+    pointer_jumping_propagation,
+    random_mate_components,
+    shiloach_vishkin_components,
+)
+from repro.graph import (
+    Graph,
+    community_graph,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    paper_random_graph,
+    path_graph,
+    permutation_regular_graph,
+    star_graph,
+)
+from repro.mpc import MPCEngine
+
+ALL_BASELINES = [
+    ("min-label", lambda g, rng: min_label_propagation(g).labels),
+    ("hash-to-min", lambda g, rng: pointer_jumping_propagation(g).labels),
+    ("random-mate", lambda g, rng: random_mate_components(g, rng=rng).labels),
+    ("shiloach-vishkin", lambda g, rng: shiloach_vishkin_components(g).labels),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,solver", ALL_BASELINES, ids=[b[0] for b in ALL_BASELINES])
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path_graph(40),
+            lambda: cycle_graph(33),
+            lambda: star_graph(25),
+            lambda: Graph(7, [(0, 1), (2, 3), (3, 4)]),
+            lambda: Graph(5, []),
+            lambda: paper_random_graph(90, 4, rng=0),
+            lambda: community_graph([25, 35], 6, rng=1)[0],
+        ],
+        ids=["path", "cycle", "star", "multi", "empty", "random", "community"],
+    )
+    def test_matches_reference(self, name, solver, make):
+        g = make()
+        labels = solver(g, np.random.default_rng(0))
+        assert components_agree(labels, connected_components(g))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_fuzz_all_agree(self, seed):
+        g = paper_random_graph(60, 3, rng=seed)
+        truth = connected_components(g)
+        rng = np.random.default_rng(seed)
+        for name, solver in ALL_BASELINES:
+            assert components_agree(solver(g, rng), truth), name
+
+
+class TestRoundScaling:
+    def test_min_label_rounds_linear_on_path(self):
+        result = min_label_propagation(path_graph(64))
+        assert result.rounds == 63
+
+    def test_pointer_jumping_logarithmic_on_path(self):
+        result = pointer_jumping_propagation(path_graph(256))
+        assert result.rounds <= 5 * int(np.log2(256))
+
+    def test_pointer_jumping_beats_plain_on_path(self):
+        plain = min_label_propagation(path_graph(128)).rounds
+        jumped = pointer_jumping_propagation(path_graph(128)).rounds
+        assert jumped < plain / 3
+
+    def test_random_mate_iterations_logarithmic(self):
+        g = permutation_regular_graph(512, 6, rng=0)
+        result = random_mate_components(g, rng=1)
+        assert result.iterations <= 4 * int(np.log2(512))
+
+    def test_random_mate_constant_factor_shrink(self):
+        """Components shrink by a roughly constant factor per iteration —
+        the Section 3 contrast with GrowComponents' quadratic growth."""
+        g = permutation_regular_graph(2048, 8, rng=1)
+        result = random_mate_components(g, rng=2)
+        history = result.components_per_iteration
+        for before, after in zip(history, history[1:]):
+            if before > 50:  # ratios are noisy near the end
+                assert after >= before / 10
+
+    def test_sv_iterations_logarithmic(self):
+        g = permutation_regular_graph(1024, 6, rng=2)
+        result = shiloach_vishkin_components(g)
+        assert result.iterations <= 4 * int(np.log2(1024))
+
+    def test_engines_charged(self):
+        g = cycle_graph(32)
+        for runner in (
+            lambda e: min_label_propagation(g, engine=e),
+            lambda e: pointer_jumping_propagation(g, engine=e),
+            lambda e: random_mate_components(g, rng=0, engine=e),
+            lambda e: shiloach_vishkin_components(g, engine=e),
+        ):
+            engine = MPCEngine(64)
+            runner(engine)
+            assert engine.rounds > 0

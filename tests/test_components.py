@@ -1,0 +1,146 @@
+"""Tests for the sequential connectivity reference and structural queries."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    canonical_labels,
+    component_count,
+    component_sizes,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    is_component_partition,
+    path_graph,
+    permutation_regular_graph,
+    planted_expander_components,
+    spanning_forest_is_valid,
+    star_graph,
+)
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        labels = connected_components(g)
+        assert labels.tolist() == [0, 0, 0, 1, 1]
+
+    def test_isolated_vertices(self):
+        g = Graph(3, [])
+        assert connected_components(g).tolist() == [0, 1, 2]
+
+    def test_self_loops_ignored_for_connectivity(self):
+        g = Graph(2, [(0, 0)])
+        assert component_count(g) == 2
+
+    def test_planted_components_recovered(self):
+        g, truth = planted_expander_components([10, 20, 30], 8, rng=0)
+        assert components_agree(connected_components(g), truth)
+
+    def test_empty_graph(self):
+        assert connected_components(Graph(0, [])).size == 0
+        assert component_count(Graph(0, [])) == 0
+
+
+class TestLabelHelpers:
+    def test_canonical_labels_first_seen_order(self):
+        assert canonical_labels(np.array([7, 7, 3, 3, 7])).tolist() == [0, 0, 1, 1, 0]
+
+    def test_component_sizes(self):
+        assert component_sizes(np.array([0, 0, 1])).tolist() == [2, 1]
+        assert component_sizes(np.array([], dtype=np.int64)).size == 0
+
+    def test_components_agree_modulo_names(self):
+        assert components_agree(np.array([5, 5, 9]), np.array([0, 0, 1]))
+        assert not components_agree(np.array([0, 1, 1]), np.array([0, 0, 1]))
+
+    def test_components_agree_shape_mismatch(self):
+        assert not components_agree(np.array([0]), np.array([0, 1]))
+
+
+class TestComponentPartition:
+    def test_true_components_are_partition(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert is_component_partition(g, connected_components(g))
+
+    def test_refinement_is_partition(self):
+        # Splitting a component into connected halves is still a
+        # component-partition (Section 2).
+        g = path_graph(6)
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert is_component_partition(g, labels)
+
+    def test_disconnected_part_rejected(self):
+        g = path_graph(6)
+        labels = np.array([0, 1, 0, 1, 0, 1])  # classes induce no edges
+        assert not is_component_partition(g, labels)
+
+    def test_cross_component_class_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        labels = np.array([0, 0, 0, 0])
+        assert not is_component_partition(g, labels)
+
+    def test_wrong_shape_rejected(self):
+        g = path_graph(3)
+        assert not is_component_partition(g, np.array([0, 0]))
+
+
+class TestBfsAndDiameter:
+    def test_bfs_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distances(g, 0).tolist() == [0, 1, -1]
+
+    def test_diameter_cycle(self):
+        assert diameter(cycle_graph(10)) == 5
+
+    def test_diameter_path(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_diameter_star(self):
+        assert diameter(star_graph(10)) == 2
+
+    def test_diameter_grid(self):
+        assert diameter(grid_graph(4, 5)) == 3 + 4
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(3, [(0, 1)]))
+
+    def test_double_sweep_matches_exact_on_expander(self):
+        g = permutation_regular_graph(500, 8, rng=1)
+        exact = diameter(g, exact_threshold=600)
+        approx = diameter(g, exact_threshold=10, rng=0)
+        assert approx == exact
+
+
+class TestSpanningForest:
+    def test_valid_tree(self):
+        g = cycle_graph(5)
+        tree = np.array([(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert spanning_forest_is_valid(g, tree)
+
+    def test_cycle_rejected(self):
+        g = cycle_graph(4)
+        tree = g.edges
+        assert not spanning_forest_is_valid(g, tree)
+
+    def test_incomplete_rejected(self):
+        g = path_graph(4)
+        assert not spanning_forest_is_valid(g, np.array([(0, 1)]))
+
+    def test_nonedge_rejected(self):
+        g = path_graph(4)
+        tree = np.array([(0, 1), (1, 2), (0, 3)])
+        assert not spanning_forest_is_valid(g, tree)
+
+    def test_forest_for_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert spanning_forest_is_valid(g, np.array([(0, 1), (2, 3)]))

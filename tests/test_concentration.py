@@ -1,0 +1,92 @@
+"""Tests for the Appendix A concentration-bound helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chernoff_multiplicative_bound,
+    chernoff_sample_bound,
+    hoeffding_bound,
+    mcdiarmid_bound,
+)
+
+
+class TestChernoff:
+    def test_bound_decreases_with_expectation(self):
+        assert chernoff_multiplicative_bound(1000, 0.1) < chernoff_multiplicative_bound(
+            10, 0.1
+        )
+
+    def test_bound_decreases_with_eps(self):
+        assert chernoff_multiplicative_bound(100, 0.5) < chernoff_multiplicative_bound(
+            100, 0.1
+        )
+
+    def test_bound_capped_at_one(self):
+        assert chernoff_multiplicative_bound(0.001, 0.01) == 1.0
+
+    def test_rejects_negative_expectation(self):
+        with pytest.raises(ValueError):
+            chernoff_multiplicative_bound(-1, 0.1)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            chernoff_multiplicative_bound(10, 1.5)
+
+    def test_empirically_valid_for_binomial(self):
+        """The bound must dominate the empirical deviation frequency."""
+        rng = np.random.default_rng(7)
+        n, p, eps = 4000, 0.25, 0.1
+        mean = n * p
+        samples = rng.binomial(n, p, size=4000)
+        deviations = np.mean(np.abs(samples - mean) > eps * mean)
+        assert deviations <= chernoff_multiplicative_bound(mean, eps) + 0.01
+
+
+class TestHoeffding:
+    def test_monotone_in_n(self):
+        assert hoeffding_bound(1000, 0.05) < hoeffding_bound(10, 0.05)
+
+    def test_zero_t_is_trivial(self):
+        assert hoeffding_bound(10, 0.0) == 1.0
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, -0.1)
+
+
+class TestMcDiarmid:
+    def test_lipschitz_scaling(self):
+        """Doubling the Lipschitz constant weakens the bound."""
+        assert mcdiarmid_bound(100, 1.0, 5.0) < mcdiarmid_bound(100, 2.0, 5.0)
+
+    def test_rejects_nonpositive_lipschitz(self):
+        with pytest.raises(ValueError):
+            mcdiarmid_bound(100, 0.0, 1.0)
+
+    def test_empirically_valid_for_nonempty_bins(self):
+        """Number of non-empty bins is 1-Lipschitz in the ball placements
+        (this is exactly how Proposition B.1 is proved)."""
+        rng = np.random.default_rng(11)
+        balls, bins, trials = 200, 4000, 2000
+        counts = np.empty(trials)
+        for i in range(trials):
+            counts[i] = np.unique(rng.integers(0, bins, size=balls)).size
+        mean = counts.mean()
+        t = 20.0
+        empirical = np.mean(np.abs(counts - mean) > t)
+        assert empirical <= mcdiarmid_bound(balls, 1.0, t) + 0.01
+
+
+class TestSampleBound:
+    def test_inverse_of_chernoff(self):
+        eps, fail = 0.1, 1e-6
+        mu = chernoff_sample_bound(eps, fail)
+        assert chernoff_multiplicative_bound(mu, eps) <= fail * 1.001
+
+    def test_monotone_in_failure_probability(self):
+        assert chernoff_sample_bound(0.1, 1e-9) > chernoff_sample_bound(0.1, 1e-3)
+
+    def test_rejects_eps_zero(self):
+        with pytest.raises(ValueError):
+            chernoff_sample_bound(0.0, 0.5)

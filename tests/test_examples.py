@@ -1,0 +1,40 @@
+"""Smoke tests: every example runs end-to-end at small scale."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "social_network_communities",
+        "round_complexity_sweep",
+        "sketch_streaming_connectivity",
+        "lower_bound_adversary",
+    ],
+)
+def test_example_runs_small(name, capsys):
+    module = load_example(name)
+    result = module.main(scale="small")
+    assert result  # every example returns a non-empty summary
+    out = capsys.readouterr().out
+    assert out.strip()  # and prints something human-readable
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name} lacks a docstring"

@@ -1,0 +1,107 @@
+"""Tests for the parallel expander construction (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import component_count, spectral_gap
+from repro.mpc import MPCEngine
+from repro.products import (
+    build_expander,
+    circulant_multigraph,
+    friedman_gap_threshold,
+    regular_graph_construction,
+)
+
+
+class TestFriedmanThreshold:
+    def test_paper_degree_reproduces_four_fifths(self):
+        # Corollary 4.4: d = 100 gives λ₂ ≥ 4/5.
+        assert friedman_gap_threshold(100) == pytest.approx(0.78, abs=0.03)
+
+    def test_monotone_in_degree(self):
+        assert friedman_gap_threshold(50) > friedman_gap_threshold(8)
+
+    def test_floor_for_tiny_degree(self):
+        assert friedman_gap_threshold(2) == 0.05
+
+
+class TestCirculant:
+    @pytest.mark.parametrize("n,d", [(1, 4), (2, 4), (3, 6), (5, 4), (20, 6)])
+    def test_exact_regularity(self, n, d):
+        assert circulant_multigraph(n, d).is_regular(d)
+
+    def test_single_vertex_self_loops(self):
+        g = circulant_multigraph(1, 6)
+        assert g.self_loop_count == 3
+        assert g.degree(0) == 6
+
+    def test_small_circulant_is_expanding(self):
+        g = circulant_multigraph(5, 8)
+        assert spectral_gap(g) > 0.5
+
+    def test_rejects_odd_degree(self):
+        with pytest.raises(ValueError):
+            circulant_multigraph(5, 3)
+
+
+class TestBuildExpander:
+    def test_meets_gap_threshold(self):
+        g, gap = build_expander(100, 8, rng=0)
+        assert g.is_regular(8)
+        assert gap >= friedman_gap_threshold(8)
+        assert component_count(g) == 1
+
+    def test_gap_matches_measurement(self):
+        g, gap = build_expander(80, 8, rng=1)
+        assert gap == pytest.approx(spectral_gap(g), abs=1e-9)
+
+    def test_tiny_sizes_use_circulant(self):
+        for n in (1, 2, 3, 8):
+            g, gap = build_expander(n, 8, rng=0)
+            assert g.is_regular(8)
+            assert gap > 0
+
+    def test_explicit_threshold(self):
+        g, gap = build_expander(60, 10, gap_threshold=0.3, rng=2)
+        assert gap >= 0.3
+
+    def test_impossible_threshold_raises(self):
+        with pytest.raises(RuntimeError):
+            build_expander(50, 4, gap_threshold=1.99, rng=0)
+
+    def test_rejects_odd_degree(self):
+        with pytest.raises(ValueError):
+            build_expander(10, 5)
+
+
+class TestRegularGraphConstruction:
+    def test_one_expander_per_distinct_size(self):
+        clouds = regular_graph_construction([3, 5, 3, 8, 5], 6, rng=0)
+        assert set(clouds.keys()) == {3, 5, 8}
+        for size, cloud in clouds.items():
+            assert cloud.n == size
+            assert cloud.is_regular(6)
+
+    def test_engine_charged(self):
+        engine = MPCEngine(64)
+        regular_graph_construction([4, 200], 6, rng=0, engine=engine)
+        assert engine.rounds >= 2  # small pack + large sample/sort
+        phases = {p.name for p in engine.phase_summaries()}
+        assert "RegularGraphConstruction" in phases
+
+    def test_large_sizes_charge_sort(self):
+        engine = MPCEngine(16)
+        regular_graph_construction([500], 6, rng=0, engine=engine)
+        kinds = {c.kind for c in engine.charges}
+        assert "sort" in kinds
+
+    def test_reproducible(self):
+        a = regular_graph_construction([5, 9], 6, rng=7)
+        b = regular_graph_construction([5, 9], 6, rng=7)
+        assert a[5] == b[5] and a[9] == b[9]
+
+    def test_gaps_all_positive(self):
+        clouds = regular_graph_construction([2, 4, 16, 64], 8, rng=0)
+        for size, cloud in clouds.items():
+            if size > 1:
+                assert spectral_gap(cloud) > 0.05, f"size {size}"

@@ -1,0 +1,182 @@
+"""Tests for graph generators, including the paper's G(n,d) and G_{n,d}."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    community_graph,
+    complete_graph,
+    component_count,
+    connected_components,
+    cycle_graph,
+    dumbbell_graph,
+    empty_graph,
+    erdos_renyi,
+    expander_path,
+    grid_graph,
+    hypercube_graph,
+    paper_random_graph,
+    paper_random_graph_edges,
+    path_graph,
+    permutation_regular_graph,
+    planted_expander_components,
+    ring_of_expanders,
+    star_graph,
+)
+
+
+class TestPaperRandomGraph:
+    def test_edge_count(self):
+        g = paper_random_graph(100, 10, rng=0)
+        assert g.m == 100 * 5
+
+    def test_degrees_concentrate(self):
+        # Proposition 2.3 regime: d >= 4 log n / eps^2.
+        n, d = 500, 200
+        g = paper_random_graph(n, d, rng=1)
+        eps = np.sqrt(4 * np.log(n) / d)
+        assert g.is_almost_regular(d, 1.5 * eps)
+
+    def test_connectivity_at_log_threshold(self):
+        # Proposition 2.4: d >= c log n connects w.h.p.
+        n = 256
+        d = int(8 * np.log(n))
+        g = paper_random_graph(n, d, rng=2)
+        assert component_count(g) == 1
+
+    def test_odd_d_uses_floor(self):
+        g = paper_random_graph(50, 5, rng=0)
+        assert g.m == 50 * 2
+
+    def test_d_one_gives_empty(self):
+        assert paper_random_graph(10, 1, rng=0).m == 0
+
+    def test_edges_helper_matches_model(self):
+        edges = paper_random_graph_edges(50, 3, rng=0)
+        assert edges.shape == (150, 2)
+        assert np.array_equal(edges[:, 0], np.repeat(np.arange(50), 3))
+
+
+class TestPermutationRegularGraph:
+    def test_exact_regularity(self):
+        for n in (1, 2, 5, 40):
+            g = permutation_regular_graph(n, 6, rng=0)
+            assert g.is_regular(6), f"n={n}"
+
+    def test_rejects_odd_degree(self):
+        with pytest.raises(ValueError):
+            permutation_regular_graph(10, 3)
+
+    def test_edge_count(self):
+        g = permutation_regular_graph(30, 8, rng=0)
+        assert g.m == 30 * 4
+
+    def test_connected_at_moderate_degree(self):
+        g = permutation_regular_graph(200, 10, rng=3)
+        assert component_count(g) == 1
+
+
+class TestClassicalFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4 and g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        assert cycle_graph(6).is_regular(2)
+
+    def test_cycle_of_one_is_self_loop(self):
+        g = cycle_graph(1)
+        assert g.self_loop_count == 1
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10 and g.is_regular(4)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert star_graph(1).m == 0
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12 and g.m == 3 * 3 + 2 * 4
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16 and g.is_regular(4)
+        assert component_count(g) == 1
+
+    def test_empty(self):
+        assert empty_graph(3).m == 0
+
+    def test_erdos_renyi_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, rng=0).m == 0
+        assert erdos_renyi(6, 1.0, rng=0).m == 15
+
+    def test_erdos_renyi_no_duplicates(self):
+        g = erdos_renyi(30, 0.3, rng=1)
+        assert g.parallel_edge_count == 0
+        assert g.self_loop_count == 0
+
+
+class TestWorkloads:
+    def test_planted_components_structure(self):
+        g, labels = planted_expander_components([8, 12], 4, rng=0)
+        assert g.n == 20
+        assert labels.tolist() == [0] * 8 + [1] * 12
+        found = connected_components(g)
+        # Each planted part is internally connected at d=4 w.h.p. for
+        # these sizes; cross-part edges never exist.
+        for u, v in g.edges.tolist():
+            assert labels[u] == labels[v]
+        assert found.max() >= 1
+
+    def test_dumbbell_connected_single_bridge(self):
+        g = dumbbell_graph(50, 6, bridges=1, rng=0)
+        assert g.n == 100
+        assert component_count(g) == 1
+
+    def test_dumbbell_bridge_count(self):
+        g = dumbbell_graph(30, 6, bridges=3, rng=0)
+        crossing = [
+            (u, v) for u, v in g.edges.tolist() if (u < 30) != (v < 30)
+        ]
+        assert len(crossing) == 3
+
+    def test_ring_of_expanders(self):
+        g = ring_of_expanders(4, 25, 6, rng=0)
+        assert g.n == 100
+        assert component_count(g) == 1
+
+    def test_ring_of_one(self):
+        g = ring_of_expanders(1, 30, 6, rng=0)
+        assert component_count(g) == 1
+
+    def test_expander_path(self):
+        g = expander_path(3, 20, 6, rng=0)
+        assert g.n == 60
+        assert component_count(g) == 1
+
+    def test_community_graph(self):
+        g, labels = community_graph([20, 30], 8, rng=0)
+        assert g.n == 50
+        for u, v in g.edges.tolist():
+            assert labels[u] == labels[v]
+
+    def test_community_graph_skew_tail(self):
+        g, labels = community_graph([40], 8, rng=0, skew_tail=True)
+        assert g.n > 40
+        assert labels.max() >= 4
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: paper_random_graph(40, 8, rng=seed),
+            lambda seed: permutation_regular_graph(40, 6, rng=seed),
+            lambda seed: dumbbell_graph(20, 6, rng=seed),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert factory(5) == factory(5)

@@ -1,0 +1,87 @@
+"""Tests for the diameter-parametrized baseline (Section 1.3 / [6])."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exponentiation_components
+from repro.graph import (
+    Graph,
+    community_graph,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    dumbbell_graph,
+    paper_random_graph,
+    path_graph,
+    permutation_regular_graph,
+    star_graph,
+)
+from repro.mpc import MPCEngine
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path_graph(50),
+            lambda: cycle_graph(41),
+            lambda: star_graph(30),
+            lambda: Graph(6, [(0, 1), (2, 3), (4, 5)]),
+            lambda: Graph(4, []),
+            lambda: paper_random_graph(80, 4, rng=0),
+            lambda: community_graph([30, 20], 6, rng=1)[0],
+        ],
+        ids=["path", "cycle", "star", "matching", "empty", "random", "community"],
+    )
+    def test_matches_reference(self, make):
+        g = make()
+        result = exponentiation_components(g)
+        assert components_agree(result.labels, connected_components(g))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzz_random(self, seed):
+        g = paper_random_graph(60, 3, rng=seed)
+        result = exponentiation_components(g)
+        assert components_agree(result.labels, connected_components(g))
+
+    def test_multigraph_input(self):
+        g = Graph(4, [(0, 1), (0, 1), (1, 1), (2, 3)])
+        result = exponentiation_components(g)
+        assert components_agree(result.labels, connected_components(g))
+
+
+class TestPhaseScaling:
+    def test_phases_track_log_diameter(self):
+        """The defining property: path (D = n) needs ~log n phases,
+        dumbbell (D = O(log n)) needs O(log log n)-ish."""
+        path_result = exponentiation_components(path_graph(512))
+        bell_result = exponentiation_components(dumbbell_graph(256, 8, rng=0))
+        assert path_result.phases <= np.log2(512) + 2
+        assert bell_result.phases <= path_result.phases - 2
+
+    def test_phases_grow_with_path_length(self):
+        short = exponentiation_components(path_graph(32)).phases
+        long = exponentiation_components(path_graph(512)).phases
+        assert long > short
+        # ...but only logarithmically: 16x the diameter, ≤ +5 phases.
+        assert long <= short + 5
+
+    def test_expander_constant_phases(self):
+        g = permutation_regular_graph(1024, 8, rng=2)
+        result = exponentiation_components(g)
+        assert result.phases <= 4
+
+    def test_degree_cap_respected(self):
+        g = permutation_regular_graph(128, 6, rng=3)
+        result = exponentiation_components(g, degree_cap=4)
+        assert components_agree(result.labels, connected_components(g))
+
+    def test_engine_charged(self):
+        g = path_graph(64)
+        engine = MPCEngine(256)
+        result = exponentiation_components(g, engine=engine)
+        assert engine.rounds == result.rounds > 0
+
+    def test_max_phases_guard(self):
+        with pytest.raises(RuntimeError):
+            exponentiation_components(path_graph(200), max_phases=2)

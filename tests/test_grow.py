@@ -1,0 +1,137 @@
+"""Tests for GrowComponents (Section 6.1, Lemma 6.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import contract_batch, grow_components
+from repro.graph import (
+    Graph,
+    DisjointSetUnion,
+    connected_components,
+    is_component_partition,
+    paper_random_graph_edges,
+)
+from repro.mpc import MPCEngine
+from repro.utils.rng import spawn_rngs
+
+
+def make_batches(n, half_degree, count, seed=0):
+    rngs = spawn_rngs(seed, count)
+    return [paper_random_graph_edges(n, half_degree, rng) for rng in rngs]
+
+
+class TestContractBatch:
+    def test_basic_contraction(self):
+        labels = np.array([0, 0, 1, 1])
+        batch = np.array([(0, 1), (1, 2), (2, 3), (0, 3)])
+        edges, rep = contract_batch(labels, batch)
+        assert edges.tolist() == [[0, 1]]
+        # Representative is one of the crossing edges.
+        assert rep.shape == (1,)
+        assert rep[0] in (1, 3)
+
+    def test_all_internal(self):
+        labels = np.array([0, 0])
+        batch = np.array([(0, 1), (1, 0)])
+        edges, rep = contract_batch(labels, batch)
+        assert edges.shape == (0, 2)
+        assert rep.size == 0
+
+    def test_dedup_keeps_one_per_pair(self):
+        labels = np.array([0, 1, 0, 1])
+        batch = np.array([(0, 1), (2, 3), (0, 3), (2, 1)])
+        edges, rep = contract_batch(labels, batch)
+        assert edges.shape == (1, 2)
+
+    def test_empty_batch(self):
+        edges, rep = contract_batch(np.array([0, 1]), np.empty((0, 2)))
+        assert edges.shape == (0, 2)
+
+
+class TestGrowComponents:
+    def test_labels_form_component_partition(self):
+        """Lemma 6.7(I): Ci is always a component-partition of the batch
+        union."""
+        n = 400
+        batches = make_batches(n, 12, 2, seed=1)
+        result = grow_components(n, batches, [4, 16], rng=0)
+        union = Graph(n, np.concatenate(batches, axis=0))
+        assert is_component_partition(union, result.labels)
+
+    def test_components_grow_quadratically(self):
+        """Mean component size advances ~Δ_i per phase (Lemma 6.7's
+        |C_{i,j}| ∈ J(1±ε)Δ_i/ΔK, scaled constants)."""
+        n = 3000
+        growth = 4
+        oversample = 10
+        batches = make_batches(n, growth * oversample // 2, 2, seed=2)
+        result = grow_components(n, batches, [growth, growth**2], rng=1)
+        t1, t2 = result.telemetry
+        assert t1.mean_component_size == pytest.approx(growth, rel=0.4)
+        assert t2.mean_component_size == pytest.approx(growth**3, rel=0.5)
+
+    def test_contraction_degree_squares(self):
+        """The contraction graph's mean degree grows ~quadratically between
+        phases (Claims 6.9/6.10: from Δ·s to Δ²·s)."""
+        n = 5000
+        growth, oversample = 4, 10
+        b = growth * oversample // 2
+        batches = make_batches(n, b, 2, seed=3)
+        result = grow_components(n, batches, [growth, growth**2], rng=2)
+        t1, t2 = result.telemetry
+        assert t2.mean_contraction_degree == pytest.approx(
+            growth * t1.mean_contraction_degree, rel=0.4
+        )
+
+    def test_tree_edges_acyclic_and_consistent(self):
+        """Claim 6.12: the chosen edges form a forest refining the labels."""
+        n = 500
+        batches = make_batches(n, 10, 2, seed=4)
+        result = grow_components(n, batches, [4, 16], rng=3)
+        dsu = DisjointSetUnion(n)
+        for u, v in result.tree_edges.tolist():
+            assert dsu.union(int(u), int(v)), "cycle in tree edges"
+        # Forest merges never cross label classes.
+        for u, v in result.tree_edges.tolist():
+            assert result.labels[u] == result.labels[v]
+
+    def test_schedule_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grow_components(10, make_batches(10, 2, 2), [4], rng=0)
+
+    def test_engine_rounds_linear_in_phases(self):
+        n = 300
+        engine2 = MPCEngine(1000)
+        grow_components(n, make_batches(n, 8, 2, seed=5), [4, 16], rng=0, engine=engine2)
+        engine3 = MPCEngine(1000)
+        grow_components(
+            n, make_batches(n, 8, 3, seed=5), [4, 16, 256], rng=0, engine=engine3
+        )
+        assert engine2.rounds < engine3.rounds
+
+    def test_respects_true_components(self):
+        """Grow never merges vertices from different true components of the
+        batch union."""
+        n = 200
+        # Two blocks with no cross edges: build batches within each half.
+        rng_a, rng_b = spawn_rngs(6, 2)
+        half = n // 2
+        batch_a = paper_random_graph_edges(half, 8, rng_a)
+        batch_b = paper_random_graph_edges(half, 8, rng_b) + half
+        batch = np.concatenate([batch_a, batch_b], axis=0)
+        result = grow_components(n, [batch], [4], rng=1)
+        union = Graph(n, batch)
+        truth = connected_components(union)
+        for lab in np.unique(result.labels):
+            members = np.flatnonzero(result.labels == lab)
+            assert np.unique(truth[members]).size == 1
+
+    def test_telemetry_fields(self):
+        n = 300
+        result = grow_components(n, make_batches(n, 8, 1, seed=7), [4], rng=0)
+        [t] = result.telemetry
+        assert t.phase == 1
+        assert t.components_before == n
+        assert t.components_after < n
+        assert 0 < t.leader_prob <= 1
+        assert t.contraction_vertices == n

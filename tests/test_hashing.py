@@ -1,0 +1,98 @@
+"""Tests for k-wise independent hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import MERSENNE_P, KWiseHash, sign_hash
+
+
+class TestKWiseHash:
+    def test_deterministic(self):
+        h = KWiseHash(3, rng=0)
+        x = np.arange(100)
+        assert np.array_equal(h.values(x), h.values(x))
+
+    def test_range(self):
+        h = KWiseHash(2, rng=1)
+        vals = h.values(np.arange(1000))
+        assert vals.min() >= 0
+        assert int(vals.max()) < MERSENNE_P
+
+    def test_different_seeds_differ(self):
+        x = np.arange(50)
+        a = KWiseHash(2, rng=0).values(x)
+        b = KWiseHash(2, rng=1).values(x)
+        assert not np.array_equal(a, b)
+
+    def test_input_out_of_field_rejected(self):
+        h = KWiseHash(2, rng=0)
+        with pytest.raises(ValueError):
+            h.values(np.array([MERSENNE_P]))
+
+    def test_scalar_value(self):
+        h = KWiseHash(2, rng=0)
+        assert h.value(7) == int(h.values(np.array([7]))[0])
+
+    def test_pairwise_uniformity(self):
+        """Bucket counts under a pairwise hash are near-uniform."""
+        h = KWiseHash(2, rng=2)
+        buckets = h.values(np.arange(20_000)) % np.uint64(16)
+        counts = np.bincount(buckets.astype(np.int64), minlength=16)
+        assert counts.min() > 0.8 * 20_000 / 16
+        assert counts.max() < 1.2 * 20_000 / 16
+
+    def test_pairwise_collision_rate(self):
+        """Pr[h(x) = h(y) mod B] ≈ 1/B over the seed for fixed x != y
+        (pairwise independence is a property of the hash family, so we
+        average over seeds, not positions — a linear hash maps a fixed
+        difference to a fixed difference)."""
+        B = 16
+        collisions = 0
+        trials = 2000
+        for seed in range(trials):
+            h = KWiseHash(2, rng=seed)
+            vals = h.values(np.array([123, 45678])) % np.uint64(B)
+            collisions += int(vals[0] == vals[1])
+        assert collisions / trials == pytest.approx(1 / B, abs=0.02)
+
+    def test_uniform_floats_in_unit_interval(self):
+        h = KWiseHash(2, rng=4)
+        u = h.uniform_floats(np.arange(1000))
+        assert np.all((0 <= u) & (u < 1))
+        assert 0.4 < u.mean() < 0.6
+
+    def test_level_distribution_geometric(self):
+        h = KWiseHash(2, rng=5)
+        levels = h.level(np.arange(100_000), 30)
+        frac0 = np.mean(levels == 0)
+        frac1 = np.mean(levels == 1)
+        assert frac0 == pytest.approx(0.5, abs=0.02)
+        assert frac1 == pytest.approx(0.25, abs=0.02)
+
+    def test_level_clamped(self):
+        h = KWiseHash(2, rng=6)
+        levels = h.level(np.arange(10_000), 3)
+        assert levels.max() <= 3
+
+
+class TestSignHash:
+    def test_values_pm_one(self):
+        signs = sign_hash(np.arange(100))
+        assert set(np.unique(signs)) <= {-1, 1}
+
+    def test_balanced(self):
+        h = KWiseHash(2, rng=7)
+        signs = sign_hash(h.values(np.arange(50_000)))
+        assert abs(signs.mean()) < 0.02
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=st.integers(1, 5), seed=st.integers(0, 100))
+def test_degree_k_polynomial_is_function(k, seed):
+    """Same input always hashes identically; distinct polynomials exist."""
+    h = KWiseHash(k, rng=seed)
+    x = np.array([3, 3, 17])
+    vals = h.values(x)
+    assert vals[0] == vals[1]

@@ -1,0 +1,139 @@
+"""Tests for the paper's concise range notation (Section 2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Interval
+
+
+class TestConstruction:
+    def test_pm_matches_paper_definition(self):
+        assert Interval.pm(5, 2) == Interval(3, 7)
+
+    def test_pm_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            Interval.pm(1, -0.5)
+
+    def test_one_pm(self):
+        iv = Interval.one_pm(0.25)
+        assert iv.low == pytest.approx(0.75)
+        assert iv.high == pytest.approx(1.25)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_point(self):
+        assert Interval.point(3).width == 0
+        assert Interval.point(3).center == 3
+
+
+class TestPaperWorkedExamples:
+    def test_square_example(self):
+        # Paper, Section 2: J(3 ± 2)²K = [1, 25].
+        assert Interval.pm(3, 2) ** 2 == Interval(1, 25)
+
+    def test_quotient_example(self):
+        # Paper, Section 2: J(2 ± 1)/(4 ± 2)K = [1/6, 3/2].
+        result = Interval.pm(2, 1) / Interval.pm(4, 2)
+        assert result.low == pytest.approx(1 / 6)
+        assert result.high == pytest.approx(3 / 2)
+
+
+class TestArithmetic:
+    def test_addition_with_scalar(self):
+        assert Interval(1, 2) + 3 == Interval(4, 5)
+        assert 3 + Interval(1, 2) == Interval(4, 5)
+
+    def test_subtraction(self):
+        assert Interval(1, 2) - Interval(0, 1) == Interval(0, 2)
+        assert 5 - Interval(1, 2) == Interval(3, 4)
+
+    def test_multiplication_negative_operands(self):
+        assert Interval(-2, 3) * Interval(-1, 4) == Interval(-8, 12)
+
+    def test_division_by_zero_straddling_interval(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_rdiv(self):
+        assert 1 / Interval(2, 4) == Interval(0.25, 0.5)
+
+    def test_power_zero(self):
+        assert Interval(2, 3) ** 0 == Interval(1, 1)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(1, 2) ** -1
+
+    def test_power_rejects_float(self):
+        with pytest.raises(TypeError):
+            Interval(1, 2) ** 0.5
+
+    def test_union(self):
+        assert Interval(0, 1).union(Interval(3, 4)) == Interval(0, 4)
+
+
+class TestContainment:
+    def test_contains_number(self):
+        assert Interval(1, 3).contains(2)
+        assert not Interval(1, 3).contains(4)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_slack_relaxes_bounds(self):
+        assert not Interval(1, 2).contains(2.1)
+        assert Interval(1, 2).contains(2.1, slack=0.1)
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+
+
+@given(
+    center=st.floats(-100, 100),
+    delta=st.floats(0, 50),
+    scalar=st.floats(-10, 10).filter(lambda x: abs(x) > 1e-6),
+)
+def test_scalar_multiplication_preserves_containment(center, delta, scalar):
+    """x ∈ I implies s·x ∈ s·I for every scalar s (property of the J·K calculus)."""
+    iv = Interval.pm(center, delta)
+    scaled = iv * scalar
+    assert scaled.contains(center * scalar) or math.isclose(
+        scaled.low, center * scalar, abs_tol=1e-9
+    ) or math.isclose(scaled.high, center * scalar, abs_tol=1e-9)
+
+
+@given(
+    a_lo=st.floats(-50, 50),
+    a_w=st.floats(0, 20),
+    b_lo=st.floats(-50, 50),
+    b_w=st.floats(0, 20),
+    x=st.floats(0, 1),
+    y=st.floats(0, 1),
+)
+def test_product_is_inclusion_monotone(a_lo, a_w, b_lo, b_w, x, y):
+    """Interval product contains all pointwise products of members."""
+    a = Interval(a_lo, a_lo + a_w)
+    b = Interval(b_lo, b_lo + b_w)
+    pa = a.low + x * a.width
+    pb = b.low + y * b.width
+    assert (a * b).contains(pa * pb, slack=1e-9) or abs(pa * pb) < 1e-12
+
+
+@given(
+    lo=st.floats(-100, 100),
+    w=st.floats(0, 100),
+)
+def test_negation_involution(lo, w):
+    iv = Interval(lo, lo + w)
+    assert -(-iv) == iv

@@ -1,0 +1,124 @@
+"""Tests for the layered graph data structure (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_jump_tables,
+    paths_from_starts,
+    sample_layered_graph,
+)
+from repro.graph import Graph, cycle_graph, permutation_regular_graph
+
+
+class TestSampling:
+    def test_vertex_count(self):
+        g = cycle_graph(5)
+        s = sample_layered_graph(g, 4, rng=0)
+        # n * 2t * (t+1) layered vertices.
+        assert s.vertex_count == 5 * 8 * 5
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            sample_layered_graph(cycle_graph(5), 3, rng=0)
+
+    def test_requires_regular(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="regular"):
+            sample_layered_graph(g, 4, rng=0)
+
+    def test_out_degree_exactly_one_below_last_layer(self):
+        g = cycle_graph(4)
+        s = sample_layered_graph(g, 2, rng=0)
+        below = s.layer_size * s.t
+        assert np.all(s.successor[:below] >= 0)
+        assert np.all(s.successor[below:] == -1)
+
+    def test_successors_advance_one_layer(self):
+        g = permutation_regular_graph(6, 4, rng=0)
+        s = sample_layered_graph(g, 4, rng=1)
+        below = s.layer_size * s.t
+        idx = np.arange(below)
+        assert np.array_equal(
+            s.layer_of(s.successor[:below]), s.layer_of(idx) + 1
+        )
+
+    def test_successors_follow_graph_edges(self):
+        g = cycle_graph(7)
+        s = sample_layered_graph(g, 4, rng=2)
+        below = s.layer_size * s.t
+        src = s.base_vertex(np.arange(below))
+        dst = s.base_vertex(s.successor[:below])
+        hops = (dst - src) % 7
+        assert np.all((hops == 1) | (hops == 6))
+
+    def test_index_roundtrip(self):
+        g = cycle_graph(4)
+        s = sample_layered_graph(g, 2, rng=0)
+        idx = s.index(np.array([3]), np.array([1]), np.array([2]))
+        assert s.base_vertex(idx)[0] == 3
+        assert s.layer_of(idx)[0] == 2
+
+    def test_distinguished_starts_layer_zero(self):
+        g = cycle_graph(4)
+        s = sample_layered_graph(g, 2, rng=0)
+        starts = s.distinguished_starts()
+        assert np.all(s.layer_of(starts) == 0)
+        assert np.array_equal(s.base_vertex(starts), np.arange(4))
+
+
+class TestJumpTables:
+    def test_table_count(self):
+        g = cycle_graph(5)
+        s = sample_layered_graph(g, 8, rng=0)
+        jumps = build_jump_tables(s)
+        assert jumps.doubling_steps == 3  # log2(8)
+
+    def test_jump_distances(self):
+        """tables[k] maps layer-0 vertices to layer 2^k (Claim 5.5)."""
+        g = permutation_regular_graph(5, 4, rng=0)
+        s = sample_layered_graph(g, 8, rng=1)
+        jumps = build_jump_tables(s)
+        starts = s.distinguished_starts()
+        for k, table in enumerate(jumps.tables):
+            reached = table[starts]
+            assert np.all(s.layer_of(reached) == 2**k)
+
+    def test_last_table_matches_manual_walk(self):
+        g = cycle_graph(6)
+        s = sample_layered_graph(g, 4, rng=3)
+        jumps = build_jump_tables(s)
+        starts = s.distinguished_starts()
+        manual = starts.copy()
+        for _ in range(4):
+            manual = s.successor[manual]
+        assert np.array_equal(jumps.tables[-1][starts], manual)
+
+
+class TestPaths:
+    def test_path_shape_and_layers(self):
+        g = permutation_regular_graph(6, 4, rng=0)
+        s = sample_layered_graph(g, 8, rng=1)
+        jumps = build_jump_tables(s)
+        starts = s.distinguished_starts()
+        paths = paths_from_starts(s, jumps, starts)
+        assert paths.shape == (6, 9)
+        for j in range(9):
+            assert np.all(s.layer_of(paths[:, j]) == j)
+
+    def test_path_consecutive_successors(self):
+        g = cycle_graph(5)
+        s = sample_layered_graph(g, 8, rng=4)
+        jumps = build_jump_tables(s)
+        paths = paths_from_starts(s, jumps, s.distinguished_starts())
+        for j in range(8):
+            assert np.array_equal(s.successor[paths[:, j]], paths[:, j + 1])
+
+    def test_path_projects_to_graph_walk(self):
+        g = cycle_graph(9)
+        s = sample_layered_graph(g, 4, rng=5)
+        jumps = build_jump_tables(s)
+        paths = paths_from_starts(s, jumps, s.distinguished_starts())
+        walk = s.base_vertex(paths)
+        steps = (walk[:, 1:] - walk[:, :-1]) % 9
+        assert np.all((steps == 1) | (steps == 8))

@@ -1,0 +1,159 @@
+"""Tests for the Section 9 lower-bound machinery."""
+
+import numpy as np
+import pytest
+
+from repro.graph import component_count, spectral_gap
+from repro.lower_bound import (
+    AdversaryGame,
+    build_hard_family,
+    build_instance,
+    family_edge_strategy,
+    greedy_multiplicity_strategy,
+    play_until_resolved,
+    random_pair_strategy,
+    verify_promise,
+)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return build_hard_family(64, 6, count=12, rng=0)
+
+
+class TestHardFamily:
+    def test_member_count(self, family):
+        assert family.size == 12
+
+    def test_members_are_regular_expanders(self, family):
+        """Claim 9.4 part 1: d-regular with Ω(1) gap."""
+        for member in family.members:
+            assert member.is_regular(6)
+            assert component_count(member) == 1
+        assert family.min_gap() > 0.1
+
+    def test_multiplicity_logarithmic(self, family):
+        """Claim 9.4 part 2: no edge in more than O(log n) members."""
+        assert family.max_multiplicity <= 4 * int(np.log2(64))
+
+    def test_edge_membership_consistent(self, family):
+        for key, owners in family.edge_membership.items():
+            u, v = key // family.n, key % family.n
+            for i in owners:
+                neighbors = family.members[i].neighbors(u)
+                assert v in neighbors
+
+    def test_query_lower_bound_formula(self, family):
+        assert family.query_lower_bound() == family.size // family.max_multiplicity
+
+
+class TestInstances:
+    def test_connected_instance(self, family):
+        instance = build_instance(family, bridge_index=3, rng=1)
+        assert instance.is_connected
+        assert verify_promise(instance)
+
+    def test_disconnected_instance(self, family):
+        instance = build_instance(family, bridge_index=None, rng=1)
+        assert not instance.is_connected
+        assert verify_promise(instance)
+
+    def test_components_are_expanders(self, family):
+        """The promise: every component has Ω(1) spectral gap and O(n)
+        edges (sparse)."""
+        instance = build_instance(family, bridge_index=None, rng=2)
+        g = instance.graph()
+        assert g.m <= 10 * g.n
+        half = family.n // 2
+        left, _ = g.subgraph(np.arange(half))
+        assert spectral_gap(left) > 0.1
+
+    def test_has_edge_oracle(self, family):
+        instance = build_instance(family, bridge_index=0, rng=3)
+        g = instance.graph()
+        for u, v in g.edges[:30].tolist():
+            if u != v:
+                assert instance.has_edge(u, v)
+        assert not instance.has_edge(0, 1) or instance.has_edge(0, 1) == (
+            (0, 1) in {tuple(sorted(e)) for e in g.edges.tolist()}
+        )
+
+    def test_bad_bridge_index(self, family):
+        with pytest.raises(ValueError):
+            build_instance(family, bridge_index=99, rng=0)
+
+
+class TestAdversary:
+    def test_alive_until_all_killed(self, family):
+        game = AdversaryGame.fresh(family)
+        assert not game.resolved
+        assert game.alive_count == family.size
+
+    def test_family_edges_answered_absent(self, family):
+        game = AdversaryGame.fresh(family)
+        member = family.members[0]
+        u, v = member.edges[0]
+        if u != v:
+            assert game.query(int(u), int(v)) is False
+            assert not game.alive[0]
+
+    def test_base_edges_answered_present(self, family):
+        instance = build_instance(family, bridge_index=None, rng=4)
+        game = AdversaryGame.fresh(family, halves=instance.halves)
+        left = instance.halves[0]
+        u, v = left.edges[0]
+        if u != v:
+            assert game.query(int(u), int(v)) is True
+
+    def test_kills_bounded_by_multiplicity(self, family):
+        game = AdversaryGame.fresh(family)
+        before = game.alive_count
+        member = family.members[2]
+        u, v = member.edges[1]
+        game.query(int(u), int(v))
+        assert before - game.alive_count <= family.max_multiplicity
+
+    def test_self_loop_query_rejected(self, family):
+        game = AdversaryGame.fresh(family)
+        with pytest.raises(ValueError):
+            game.query(3, 3)
+
+
+class TestStrategies:
+    def test_greedy_resolves_near_bound(self, family):
+        game = AdversaryGame.fresh(family)
+        cert = play_until_resolved(game, greedy_multiplicity_strategy())
+        assert cert["alive"] == 0
+        assert cert["queries"] >= family.query_lower_bound()
+
+    def test_family_edge_strategy_resolves(self, family):
+        game = AdversaryGame.fresh(family)
+        cert = play_until_resolved(game, family_edge_strategy(rng=0))
+        assert cert["alive"] == 0
+        # Every query kills at least one member.
+        assert cert["queries"] <= family.size
+
+    def test_random_pairs_much_worse(self, family):
+        game_blind = AdversaryGame.fresh(family)
+        cert_blind = play_until_resolved(
+            game_blind, random_pair_strategy(rng=1), max_queries=10**6
+        )
+        game_informed = AdversaryGame.fresh(family)
+        cert_informed = play_until_resolved(game_informed, family_edge_strategy(rng=1))
+        assert cert_blind["queries"] > 3 * cert_informed["queries"]
+
+    def test_every_strategy_meets_lower_bound(self, family):
+        """Lemma 9.3: no strategy resolves in fewer than
+        k / max_multiplicity queries."""
+        for strategy in (
+            greedy_multiplicity_strategy(),
+            family_edge_strategy(rng=2),
+        ):
+            game = AdversaryGame.fresh(family)
+            cert = play_until_resolved(game, strategy)
+            assert cert["queries"] >= cert["theoretical_minimum"]
+
+    def test_unresolvable_budget_raises(self, family):
+        game = AdversaryGame.fresh(family)
+        with pytest.raises(RuntimeError):
+            play_until_resolved(game, family_edge_strategy(rng=3), max_queries=1)

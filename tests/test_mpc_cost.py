@@ -1,0 +1,60 @@
+"""Tests for the MPC round cost model."""
+
+import math
+
+import pytest
+
+from repro.mpc import MPCCostModel
+
+
+class TestCostModel:
+    def test_sort_fits_single_machine(self):
+        model = MPCCostModel(1000)
+        assert model.sort_rounds(500) == 1
+
+    def test_sort_log_s_n(self):
+        model = MPCCostModel(10)
+        assert model.sort_rounds(1000) == 3  # log_10 1000
+
+    def test_sort_rounds_matches_delta(self):
+        """With s = N^δ, sort costs about 1/δ rounds (the paper's O(1/δ))."""
+        n = 10**6
+        for delta in (0.25, 0.5):
+            s = math.ceil(n**delta)
+            model = MPCCostModel(s)
+            assert model.sort_rounds(n) == pytest.approx(1 / delta, abs=1)
+
+    def test_search_equals_sort(self):
+        model = MPCCostModel(16)
+        assert model.search_rounds(5000) == model.sort_rounds(5000)
+
+    def test_shuffle_is_one(self):
+        assert MPCCostModel(8).shuffle_rounds() == 1
+
+    def test_machines_for(self):
+        model = MPCCostModel(100)
+        assert model.machines_for(1000) == 10
+        assert model.machines_for(1001) == 11
+        assert model.machines_for(0) == 1
+
+    def test_broadcast_small(self):
+        assert MPCCostModel(100).broadcast_rounds(50) == 1
+
+    def test_broadcast_tree_depth(self):
+        model = MPCCostModel(10)
+        # 10^4 items -> 1000 machines -> log_10(1000) = 3 rounds.
+        assert model.broadcast_rounds(10_000) == 3
+
+    def test_pointer_jumping(self):
+        model = MPCCostModel(10)
+        assert model.pointer_jumping_rounds(1) == 1
+        assert model.pointer_jumping_rounds(8) == 3
+        assert model.pointer_jumping_rounds(9) == 4
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ValueError):
+            MPCCostModel(1)
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ValueError):
+            MPCCostModel(8).sort_rounds(-1)

@@ -1,0 +1,118 @@
+"""Tests for the MPC accounting engine."""
+
+import math
+
+import pytest
+
+from repro.mpc import MPCEngine
+
+
+class TestCharging:
+    def test_initial_state(self):
+        engine = MPCEngine(100)
+        assert engine.rounds == 0
+        assert engine.peak_machines == 1
+
+    def test_explicit_rounds(self):
+        engine = MPCEngine(100)
+        engine.charge_rounds(5, "bfs levels")
+        assert engine.rounds == 5
+
+    def test_sort_charge(self):
+        engine = MPCEngine(10)
+        engine.charge_sort(1000)
+        assert engine.rounds == 3
+
+    def test_mixed_charges_accumulate(self):
+        engine = MPCEngine(10)
+        engine.charge_sort(1000)      # 3
+        engine.charge_shuffle(1000)   # 1
+        engine.charge_search(100)     # 2
+        assert engine.rounds == 6
+
+    def test_peak_tracking(self):
+        engine = MPCEngine(100)
+        engine.charge_sort(1000)
+        engine.charge_sort(50)
+        assert engine.peak_items == 1000
+        assert engine.peak_machines == 10
+
+    def test_note_data_volume(self):
+        engine = MPCEngine(100)
+        engine.note_data_volume(500)
+        assert engine.rounds == 0
+        assert engine.peak_machines == 5
+
+    def test_reset(self):
+        engine = MPCEngine(100)
+        engine.charge_sort(1000)
+        engine.reset()
+        assert engine.rounds == 0
+        assert engine.peak_items == 0
+
+
+class TestPhases:
+    def test_phase_grouping(self):
+        engine = MPCEngine(10)
+        with engine.phase("regularize"):
+            engine.charge_sort(100)
+        with engine.phase("randomize"):
+            engine.charge_shuffle()
+            engine.charge_shuffle()
+        summaries = {p.name: p.rounds for p in engine.phase_summaries()}
+        assert summaries == {"regularize": 2, "randomize": 2}
+
+    def test_nested_phases_roll_up(self):
+        engine = MPCEngine(10)
+        with engine.phase("outer"):
+            with engine.phase("inner"):
+                engine.charge_shuffle()
+        [summary] = engine.phase_summaries()
+        assert summary.name == "outer"
+        assert summary.rounds == 1
+
+    def test_unphased_charges(self):
+        engine = MPCEngine(10)
+        engine.charge_shuffle()
+        [summary] = engine.phase_summaries()
+        assert summary.name == "(none)"
+
+    def test_summary_dict(self):
+        engine = MPCEngine(10)
+        with engine.phase("p"):
+            engine.charge_sort(100)
+        summary = engine.summary()
+        assert summary["rounds"] == 2
+        assert summary["phases"] == {"p": 2}
+        assert summary["machine_memory"] == 10
+
+
+class TestForDelta:
+    def test_memory_is_n_to_delta_times_polylog(self):
+        import math
+
+        engine = MPCEngine.for_delta(10**6, 0.5)
+        polylog = math.log2(10**6) ** 2
+        assert engine.machine_memory == math.ceil(1000 * polylog)
+
+    def test_polylog_exponent_zero_is_bare_power(self):
+        engine = MPCEngine.for_delta(10**6, 0.5, polylog_exponent=0)
+        assert engine.machine_memory == 1000
+
+    def test_small_n_floor(self):
+        engine = MPCEngine.for_delta(4, 0.1)
+        assert engine.machine_memory >= 2
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            MPCEngine.for_delta(100, 0.0)
+        with pytest.raises(ValueError):
+            MPCEngine.for_delta(100, 1.5)
+
+    def test_per_sort_cost_stable_across_scale(self):
+        """With s = N^δ·polylog, sorting polylog-factor-inflated data costs
+        ≈ 1/δ rounds at every scale — the paper's O(1/δ) charges."""
+        for n in (10**4, 10**6, 10**8):
+            engine = MPCEngine.for_delta(n, 0.5)
+            inflated = n * int(math.log2(n)) ** 2
+            assert engine.cost.sort_rounds(inflated) <= 3

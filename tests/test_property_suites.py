@@ -1,0 +1,183 @@
+"""Cross-module hypothesis property suites.
+
+Invariants that hold for *all* inputs, exercised with generated data:
+contraction algebra, label canonicalisation, leader-election structure,
+broadcast-vs-reference equivalence, sketch linearity, and the interval
+calculus versus Monte Carlo evaluation of ± expressions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Interval
+from repro.core import broadcast_components, contract_batch, leader_election
+from repro.graph import (
+    Graph,
+    canonical_labels,
+    components_agree,
+    connected_components,
+)
+from repro.sketch import L0Sampler, OneSparseRecovery
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def edges_strategy(n: int, max_edges: int = 50):
+    return st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=max_edges,
+    )
+
+
+@common_settings
+@given(n=st.integers(1, 20), data=st.data())
+def test_canonical_labels_idempotent_and_order_preserving(n, data):
+    labels = np.array(data.draw(st.lists(st.integers(0, 5), min_size=n, max_size=n)))
+    canon = canonical_labels(labels)
+    # Idempotent.
+    assert np.array_equal(canonical_labels(canon), canon)
+    # Same partition.
+    for i in range(n):
+        for j in range(n):
+            assert (labels[i] == labels[j]) == (canon[i] == canon[j])
+    # First-seen order: labels appear as 0,1,2,... in first-occurrence order.
+    seen = []
+    for value in canon:
+        if value not in seen:
+            seen.append(value)
+    assert seen == list(range(len(seen)))
+
+
+@common_settings
+@given(n=st.integers(2, 16), data=st.data())
+def test_contract_batch_invariants(n, data):
+    edges = np.array(
+        data.draw(edges_strategy(n)) or [(0, 0)], dtype=np.int64
+    ).reshape(-1, 2)
+    labels = canonical_labels(
+        np.array(data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n)))
+    )
+    contracted, representative = contract_batch(labels, edges)
+    # No self-loops, no duplicates, canonical orientation.
+    if contracted.shape[0]:
+        assert np.all(contracted[:, 0] < contracted[:, 1])
+        keys = contracted[:, 0] * (labels.max() + 1) + contracted[:, 1]
+        assert np.unique(keys).size == keys.size
+    # Representatives realise their contracted edge.
+    for (a, b), rep in zip(contracted.tolist(), representative.tolist()):
+        u, v = edges[rep]
+        assert {labels[u], labels[v]} == {a, b}
+    # Completeness: every crossing input edge appears contracted.
+    for u, v in edges.tolist():
+        if labels[u] != labels[v]:
+            a, b = min(labels[u], labels[v]), max(labels[u], labels[v])
+            assert any((a, b) == tuple(e) for e in contracted.tolist())
+
+
+@common_settings
+@given(n=st.integers(1, 16), p=st.floats(0.0, 1.0), data=st.data())
+def test_leader_election_structure(n, p, data):
+    edges = np.array(
+        data.draw(edges_strategy(n)) or [], dtype=np.int64
+    ).reshape(-1, 2)
+    seed = data.draw(st.integers(0, 100))
+    result = leader_election(n, edges, p, rng=seed)
+    groups = result.groups
+    for v in range(n):
+        if result.is_leader[v]:
+            assert result.leader_of[v] == v
+        leader = result.leader_of[v]
+        if leader >= 0 and leader != v:
+            # Matched non-leader: leader is a leader, edge certificate valid.
+            assert result.is_leader[leader]
+            eid = result.chosen_edge[v]
+            assert eid >= 0
+            assert set(edges[eid].tolist()) == {v, leader}
+        # Stars have depth one.
+        assert groups[groups[v]] == groups[v]
+
+
+@common_settings
+@given(n=st.integers(1, 20), data=st.data())
+def test_broadcast_matches_reference(n, data):
+    edges = np.array(
+        data.draw(edges_strategy(n)) or [], dtype=np.int64
+    ).reshape(-1, 2)
+    g = Graph(n, edges)
+    result = broadcast_components(n, edges)
+    assert components_agree(result.labels, connected_components(g))
+
+
+@common_settings
+@given(data=st.data())
+def test_one_sparse_linearity(data):
+    """sketch(f) + sketch(g) decodes f + g whenever the sum is 1-sparse."""
+    universe = 64
+    seed = data.draw(st.integers(0, 50))
+    base = OneSparseRecovery.fresh(universe, rng=seed)
+    other = OneSparseRecovery(
+        universe=base.universe, fingerprint_base=base.fingerprint_base
+    )
+    index = data.draw(st.integers(0, universe - 1))
+    w1 = data.draw(st.integers(-20, 20))
+    w2 = data.draw(st.integers(-20, 20))
+    base.update(index, w1)
+    other.update(index, w2)
+    merged = base.merge(other)
+    if w1 + w2 == 0:
+        assert merged.is_zero
+    else:
+        assert merged.decode() == (index, w1 + w2)
+
+
+@common_settings
+@given(data=st.data())
+def test_l0_sampler_returns_true_support(data):
+    universe = 256
+    seed = data.draw(st.integers(0, 30))
+    support_size = data.draw(st.integers(1, 40))
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(universe, size=support_size, replace=False)
+    weights = rng.integers(1, 5, size=support_size)
+    sampler = L0Sampler.fresh(universe, rng=seed)
+    sampler.update_many(indices, weights)
+    result = sampler.sample()
+    if result is not None:
+        index, weight = result
+        position = np.flatnonzero(indices == index)
+        assert position.size == 1
+        assert weight == weights[position[0]]
+
+
+@common_settings
+@given(
+    x_center=st.floats(-10, 10),
+    x_delta=st.floats(0, 5),
+    y_center=st.floats(-10, 10),
+    y_delta=st.floats(0, 5),
+    tx=st.floats(0, 1),
+    ty=st.floats(0, 1),
+)
+def test_interval_calculus_contains_monte_carlo(
+    x_center, x_delta, y_center, y_delta, tx, ty
+):
+    """Every pointwise evaluation of an expression over J·K operands lands
+    inside the interval result (soundness of the calculus)."""
+    x_iv = Interval.pm(x_center, x_delta)
+    y_iv = Interval.pm(y_center, y_delta)
+    x = x_iv.low + tx * x_iv.width
+    y = y_iv.low + ty * y_iv.width
+    combos = [
+        (x + y, x_iv + y_iv),
+        (x - y, x_iv - y_iv),
+        (x * y, x_iv * y_iv),
+        (x * x, x_iv * x_iv),
+    ]
+    for value, interval in combos:
+        assert interval.contains(value, slack=1e-9) or abs(value) < 1e-12

@@ -1,0 +1,109 @@
+"""Tests for Lemma 6.1/6.2 — connectivity on unions of random graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_graph_components
+from repro.graph import (
+    Graph,
+    components_agree,
+    connected_components,
+    paper_random_graph_edges,
+    spanning_forest_is_valid,
+)
+from repro.mpc import MPCEngine
+from repro.utils.rng import spawn_rngs
+
+
+def single_random_graph_batches(n, half_degree, count, seed=0):
+    rngs = spawn_rngs(seed, count)
+    return [paper_random_graph_edges(n, half_degree, rng) for rng in rngs]
+
+
+def disjoint_pair_batches(sizes, half_degree, count, seed=0):
+    """Batches for a union of disjoint random-graph components."""
+    rngs = spawn_rngs(seed, count)
+    batches = []
+    for rng in rngs:
+        parts = []
+        offset = 0
+        for size in sizes:
+            parts.append(paper_random_graph_edges(size, half_degree, rng) + offset)
+            offset += size
+        batches.append(np.concatenate(parts, axis=0))
+    return batches
+
+
+class TestLemma62SingleGraph:
+    def test_finds_single_component(self):
+        n = 1000
+        batches = single_random_graph_batches(n, 16, 2, seed=0)
+        result = random_graph_components(n, batches, [4, 16], rng=0)
+        assert np.all(result.labels == 0)
+
+    def test_spanning_tree_valid(self):
+        n = 400
+        batches = single_random_graph_batches(n, 12, 2, seed=1)
+        result = random_graph_components(n, batches, [4, 16], rng=1)
+        union = Graph(n, np.concatenate(batches, axis=0))
+        assert spanning_forest_is_valid(union, result.tree_edges)
+
+    def test_broadcast_rounds_constant(self):
+        """Claim 6.13: the final contraction graph has O(1) diameter, so
+        the broadcast stage is O(1) rounds."""
+        n = 2000
+        batches = single_random_graph_batches(n, 16, 2, seed=2)
+        result = random_graph_components(n, batches, [4, 16], rng=2)
+        assert result.broadcast_rounds <= 4
+
+    def test_final_contraction_shrinks(self):
+        n = 1000
+        batches = single_random_graph_batches(n, 16, 2, seed=3)
+        result = random_graph_components(n, batches, [4, 16], rng=3)
+        assert result.final_contraction_vertices < n / 8
+
+
+class TestLemma61DisjointUnion:
+    def test_separates_components(self):
+        batches = disjoint_pair_batches([300, 500], 16, 2, seed=4)
+        n = 800
+        result = random_graph_components(n, batches, [4, 16], rng=4)
+        union = Graph(n, np.concatenate(batches, axis=0))
+        assert components_agree(result.labels, connected_components(union))
+
+    def test_many_small_components(self):
+        sizes = [50] * 8
+        batches = disjoint_pair_batches(sizes, 12, 2, seed=5)
+        n = sum(sizes)
+        result = random_graph_components(n, batches, [4, 16], rng=5)
+        union = Graph(n, np.concatenate(batches, axis=0))
+        assert components_agree(result.labels, connected_components(union))
+
+    def test_spanning_forest_valid_across_components(self):
+        batches = disjoint_pair_batches([100, 200], 12, 2, seed=6)
+        n = 300
+        result = random_graph_components(n, batches, [4, 16], rng=6)
+        union = Graph(n, np.concatenate(batches, axis=0))
+        assert spanning_forest_is_valid(union, result.tree_edges)
+
+
+class TestRounds:
+    def test_engine_round_count_log_log(self):
+        """Rounds scale with the number of phases (log log n), not n."""
+        results = {}
+        for n in (500, 4000):
+            engine = MPCEngine(max(16, int(n**0.5)))
+            batches = single_random_graph_batches(n, 16, 2, seed=7)
+            random_graph_components(n, batches, [4, 16], rng=7, engine=engine)
+            results[n] = engine.rounds
+        # An 8x larger input costs at most a few extra rounds.
+        assert results[4000] <= results[500] + 6
+
+    def test_exactness_even_with_bad_schedule(self):
+        """With a hopeless growth schedule, the broadcast fallback still
+        produces exact components (just more rounds — honesty check)."""
+        n = 300
+        batches = single_random_graph_batches(n, 3, 1, seed=8)
+        result = random_graph_components(n, batches, [64], rng=8)
+        union = Graph(n, batches[0])
+        assert components_agree(result.labels, connected_components(union))

@@ -1,0 +1,179 @@
+"""Tests for one-sparse and s-sparse recovery and the L0 sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import L0Sampler, OneSparseRecovery, SparseRecovery
+
+
+class TestOneSparse:
+    def test_zero_vector(self):
+        r = OneSparseRecovery.fresh(100, rng=0)
+        assert r.is_zero
+        assert r.decode() is None
+
+    def test_single_update(self):
+        r = OneSparseRecovery.fresh(100, rng=0)
+        r.update(42, 7)
+        assert r.decode() == (42, 7)
+
+    def test_negative_weight(self):
+        r = OneSparseRecovery.fresh(100, rng=0)
+        r.update(13, -3)
+        assert r.decode() == (13, -3)
+
+    def test_cancellation_back_to_zero(self):
+        r = OneSparseRecovery.fresh(100, rng=0)
+        r.update(5, 2)
+        r.update(5, -2)
+        assert r.is_zero
+
+    def test_two_sparse_rejected(self):
+        r = OneSparseRecovery.fresh(100, rng=0)
+        r.update(3, 1)
+        r.update(90, 1)
+        assert r.decode() is None
+
+    def test_adversarial_two_sparse_fingerprint(self):
+        """(i-1, w) and (i+1, w) average to index i — the moment test alone
+        would accept; the fingerprint must reject."""
+        for seed in range(10):
+            r = OneSparseRecovery.fresh(1000, rng=seed)
+            r.update(10, 5)
+            r.update(12, 5)
+            assert r.decode() is None
+
+    def test_merge_linearity(self):
+        a = OneSparseRecovery.fresh(50, rng=3)
+        b = OneSparseRecovery(
+            universe=a.universe, fingerprint_base=a.fingerprint_base
+        )
+        a.update(7, 4)
+        b.update(7, -3)
+        merged = a.merge(b)
+        assert merged.decode() == (7, 1)
+
+    def test_merge_seed_mismatch(self):
+        a = OneSparseRecovery.fresh(50, rng=0)
+        b = OneSparseRecovery.fresh(50, rng=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_out_of_universe(self):
+        r = OneSparseRecovery.fresh(10, rng=0)
+        with pytest.raises(ValueError):
+            r.update(10, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        index=st.integers(0, 999),
+        weight=st.integers(-50, 50).filter(lambda w: w != 0),
+        seed=st.integers(0, 10),
+    )
+    def test_roundtrip_property(self, index, weight, seed):
+        r = OneSparseRecovery.fresh(1000, rng=seed)
+        r.update(index, weight)
+        assert r.decode() == (index, weight)
+
+
+class TestSparseRecovery:
+    def test_recovers_small_support(self):
+        r = SparseRecovery.fresh(1000, sparsity=8, rng=0)
+        support = {17: 3, 400: -2, 999: 5}
+        for i, w in support.items():
+            r.update(i, w)
+        assert r.decode() == support
+
+    def test_empty_support(self):
+        r = SparseRecovery.fresh(100, sparsity=4, rng=0)
+        assert r.decode() == {}
+
+    def test_dense_vector_rejected(self):
+        r = SparseRecovery.fresh(1000, sparsity=2, rng=1)
+        rng = np.random.default_rng(0)
+        idx = rng.choice(1000, size=50, replace=False)
+        r.update_many(idx, np.ones(50, dtype=np.int64))
+        assert r.decode() is None
+
+    def test_merge(self):
+        a = SparseRecovery.fresh(500, sparsity=4, rng=2)
+        b = SparseRecovery(
+            universe=a.universe, sparsity=a.sparsity,
+            rows=[[type(c)(universe=c.universe, fingerprint_base=c.fingerprint_base)
+                   for c in row] for row in a.rows],
+            hashes=a.hashes,
+        )
+        a.update(10, 1)
+        b.update(10, -1)
+        b.update(20, 7)
+        merged = a.merge(b)
+        assert merged.decode() == {20: 7}
+
+    def test_sample_nonzero(self):
+        r = SparseRecovery.fresh(100, sparsity=4, rng=3)
+        r.update(55, 9)
+        assert r.sample_nonzero() == (55, 9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_recovery_at_exact_sparsity(self, seed):
+        rng = np.random.default_rng(seed)
+        s = 6
+        r = SparseRecovery.fresh(10_000, sparsity=s, rng=seed)
+        idx = rng.choice(10_000, size=s, replace=False)
+        weights = rng.integers(1, 10, size=s)
+        r.update_many(idx, weights)
+        decoded = r.decode()
+        assert decoded == {int(i): int(w) for i, w in zip(idx, weights)}
+
+
+class TestL0Sampler:
+    def test_zero_vector_returns_none(self):
+        s = L0Sampler.fresh(1000, rng=0)
+        assert s.sample() is None
+
+    def test_single_entry(self):
+        s = L0Sampler.fresh(1000, rng=0)
+        s.update(123, 4)
+        assert s.sample() == (123, 4)
+
+    @pytest.mark.parametrize("support_size", [1, 10, 100, 500])
+    def test_dense_supports_sample_valid(self, support_size):
+        rng = np.random.default_rng(support_size)
+        s = L0Sampler.fresh(2000, rng=1)
+        idx = rng.choice(2000, size=support_size, replace=False)
+        s.update_many(idx, np.ones(support_size, dtype=np.int64))
+        result = s.sample()
+        assert result is not None
+        index, weight = result
+        assert index in set(idx.tolist())
+        assert weight == 1
+
+    def test_merge_cancels(self):
+        a = L0Sampler.fresh(500, rng=2)
+        b = L0Sampler(universe=a.universe, level_hash=a.level_hash,
+                      levels=[type(l)(universe=l.universe, sparsity=l.sparsity,
+                                      rows=[[type(c)(universe=c.universe,
+                                                     fingerprint_base=c.fingerprint_base)
+                                             for c in row] for row in l.rows],
+                                      hashes=l.hashes)
+                              for l in a.levels])
+        a.update(42, 1)
+        a.update(99, 1)
+        b.update(42, -1)
+        merged = a.merge(b)
+        assert merged.sample() == (99, 1)
+
+    def test_merge_mismatch_rejected(self):
+        a = L0Sampler.fresh(100, rng=0)
+        b = L0Sampler.fresh(100, rng=5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_word_count_polylog(self):
+        small = L0Sampler.fresh(2**10, rng=0).word_count()
+        large = L0Sampler.fresh(2**20, rng=0).word_count()
+        # Universe grew 1024x; the sketch only by ~2x (one extra level
+        # per doubling).
+        assert large < 4 * small

@@ -1,0 +1,114 @@
+"""Tests for SublinearConn (Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import degree_target, sublinear_connectivity, walk_budget
+from repro.graph import (
+    Graph,
+    community_graph,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    paper_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.mpc import MPCEngine
+
+
+class TestHelpers:
+    def test_degree_target_inverse_in_s(self):
+        assert degree_target(1000, 100) == 10
+        assert degree_target(1000, 500) == 2
+        assert degree_target(1000, 10_000) == 2  # floor
+
+    def test_walk_budget_cubic(self):
+        small = walk_budget(2, 1000)
+        big = walk_budget(4, 1000)
+        assert big == pytest.approx(8 * small, rel=0.1)
+
+    def test_walk_budget_capped(self):
+        assert walk_budget(100, 1000, cap=500) == 500
+
+
+class TestCorrectnessArbitraryGraphs:
+    """Theorem 2 makes no assumptions on the input graph."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path_graph(100),
+            lambda: cycle_graph(100),
+            lambda: star_graph(80),
+            lambda: grid_graph(10, 10),
+            lambda: hypercube_graph(6),
+        ],
+        ids=["path", "cycle", "star", "grid", "hypercube"],
+    )
+    def test_structured_graphs(self, make):
+        g = make()
+        result = sublinear_connectivity(g, machine_memory=32, rng=0)
+        assert components_agree(result.labels, connected_components(g))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = paper_random_graph(150, 4, rng=seed)
+        result = sublinear_connectivity(g, machine_memory=48, rng=seed)
+        assert components_agree(result.labels, connected_components(g))
+
+    def test_multi_component(self):
+        g, _ = community_graph([40, 60, 20], 6, rng=1)
+        result = sublinear_connectivity(g, machine_memory=40, rng=1)
+        assert components_agree(result.labels, connected_components(g))
+
+    def test_isolated_vertices(self):
+        g = Graph(10, [(0, 1), (2, 3)])
+        result = sublinear_connectivity(g, machine_memory=8, rng=2)
+        assert components_agree(result.labels, connected_components(g))
+
+    def test_edgeless(self):
+        g = Graph(6, [])
+        result = sublinear_connectivity(g, machine_memory=8, rng=0)
+        assert np.array_equal(result.labels, np.arange(6))
+        assert result.rounds == 0
+
+
+class TestMemoryScaling:
+    def test_contraction_shrinks_with_memory(self):
+        """Smaller s -> larger d -> fewer contracted vertices (the
+        |V(H)| = O(s·polylog) guarantee)."""
+        g = paper_random_graph(400, 6, rng=3)
+        big_s = sublinear_connectivity(g, machine_memory=200, rng=3)
+        small_s = sublinear_connectivity(g, machine_memory=40, rng=3)
+        assert small_s.degree_target > big_s.degree_target
+        assert small_s.contracted_vertices <= big_s.contracted_vertices
+
+    def test_rounds_fall_with_memory(self):
+        """Theorem 2: rounds = O(log log n + log(n/s)) — more memory,
+        fewer rounds (through the shorter walks)."""
+        g = paper_random_graph(600, 6, rng=4)
+        tight = sublinear_connectivity(g, machine_memory=30, rng=4)
+        roomy = sublinear_connectivity(g, machine_memory=300, rng=4)
+        assert roomy.walk_length < tight.walk_length
+        assert roomy.rounds <= tight.rounds
+
+    def test_engine_phases(self):
+        g = paper_random_graph(100, 6, rng=5)
+        result = sublinear_connectivity(g, machine_memory=25, rng=5)
+        names = {p.name for p in result.engine.phase_summaries()}
+        assert {"Walk", "Contract", "Sketch"} <= names
+
+    def test_external_engine(self):
+        g = cycle_graph(50)
+        engine = MPCEngine(64)
+        result = sublinear_connectivity(g, machine_memory=64, rng=6, engine=engine)
+        assert result.engine is engine
+        assert engine.rounds == result.rounds
+
+    def test_sketch_words_reported(self):
+        g = paper_random_graph(200, 6, rng=7)
+        result = sublinear_connectivity(g, machine_memory=50, rng=7)
+        assert result.sketch_words_per_vertex > 0

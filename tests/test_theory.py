@@ -1,0 +1,112 @@
+"""Tests for the predicted round-complexity formulas."""
+
+import pytest
+
+from repro import theory
+
+
+class TestShapes:
+    def test_theorem1_flat_in_n(self):
+        """log log n: doubling the exponent of n adds ~1."""
+        small = theory.theorem1_rounds(2**10, 0.3)
+        large = theory.theorem1_rounds(2**20, 0.3)
+        assert large - small <= 1.1 / 0.25
+
+    def test_theorem1_linear_in_log_inv_gap(self):
+        base = theory.theorem1_rounds(10**6, 0.5)
+        worse = theory.theorem1_rounds(10**6, 0.5 / 1024)
+        assert worse - base == pytest.approx(10 / 0.25, rel=0.01)
+
+    def test_theorem2_falls_with_memory(self):
+        assert theory.theorem2_rounds(10**6, 10**5) < theory.theorem2_rounds(
+            10**6, 10**2
+        )
+
+    def test_corollary71_dominates_theorem1(self):
+        n, gap = 10**6, 1e-3
+        assert theory.corollary71_rounds(n, gap) >= theory.theorem1_rounds(n, gap)
+
+    def test_pram_logarithmic(self):
+        assert theory.classical_pram_rounds(2**16) == pytest.approx(16)
+
+    def test_crossover_pram_vs_theorem1(self):
+        """The headline claim: for large n and moderate gap, Theorem 1
+        beats PRAM by an exponential margin."""
+        n = 2**30
+        assert theory.theorem1_rounds(n, 0.3, delta=1.0) < theory.classical_pram_rounds(n) / 4
+
+    def test_lower_bound_rounds(self):
+        # polylog memory -> Ω(log n / log log n) rounds.
+        n = 2**20
+        s = 20**2
+        assert theory.lower_bound_rounds(n, s) == pytest.approx(
+            20 * 0.6931 / (2 * 2.9957), rel=0.01
+        )
+
+    def test_lower_bound_queries_near_linear(self):
+        assert theory.lower_bound_queries(2**16) == pytest.approx(2**16 / 16)
+
+
+class TestLowerBoundChain:
+    def test_dt_to_degree_sixth_root(self):
+        assert theory.dt_to_approx_degree(2**6) == pytest.approx(2.0)
+        assert theory.dt_to_approx_degree(0) == 0.0
+
+    def test_degree_to_rounds_log_s(self):
+        assert theory.approx_degree_to_mpc_rounds(1000.0, 10) == pytest.approx(3.0)
+        assert theory.approx_degree_to_mpc_rounds(0.5, 10) == 0.0
+
+    def test_full_chain_consistent(self):
+        """The chained bound equals (1/6)·log_s(n/log n) — asymptotically
+        Ω(log_s n), matching Theorem 5."""
+        import math
+
+        n, s = 2**24, 2**8
+        chained = theory.expander_conn_round_lower_bound(n, s)
+        direct = math.log(n / math.log2(n)) / (6 * math.log(s))
+        assert chained == pytest.approx(direct, rel=1e-9)
+
+    def test_chain_monotone_in_n(self):
+        assert theory.expander_conn_round_lower_bound(
+            2**30, 256
+        ) > theory.expander_conn_round_lower_bound(2**15, 256)
+
+    def test_chain_falls_with_memory(self):
+        assert theory.expander_conn_round_lower_bound(
+            2**20, 2**12
+        ) < theory.expander_conn_round_lower_bound(2**20, 2**4)
+
+    def test_pram_remark_9_5(self):
+        """Ω(log n) PRAM steps, up to the log log correction from k."""
+        import math
+
+        n = 2**20
+        bound = theory.pram_lower_bound_rounds(n)
+        assert 0.5 * math.log2(n) <= bound <= math.log2(n)
+
+    def test_validators(self):
+        with pytest.raises(ValueError):
+            theory.dt_to_approx_degree(-1)
+        with pytest.raises(ValueError):
+            theory.approx_degree_to_mpc_rounds(10.0, 1)
+
+
+class TestFit:
+    def test_fit_recovers_scale(self):
+        predicted = [1.0, 2.0, 3.0]
+        measured = [2.0, 4.0, 6.0]
+        assert theory.fit_constant(measured, predicted) == pytest.approx(2.0)
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            theory.fit_constant([], [])
+
+    def test_fit_rejects_zero_prediction(self):
+        with pytest.raises(ValueError):
+            theory.fit_constant([1.0], [0.0])
+
+    def test_validators(self):
+        with pytest.raises(ValueError):
+            theory.theorem1_rounds(0, 0.5)
+        with pytest.raises(ValueError):
+            theory.theorem1_rounds(10, 3.0)

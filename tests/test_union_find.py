@@ -1,0 +1,90 @@
+"""Tests for the DSU reference structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DisjointSetUnion
+
+
+class TestBasics:
+    def test_initial_state(self):
+        dsu = DisjointSetUnion(5)
+        assert dsu.set_count == 5
+        assert all(dsu.find(i) == i for i in range(5))
+
+    def test_union_reduces_count(self):
+        dsu = DisjointSetUnion(4)
+        assert dsu.union(0, 1)
+        assert dsu.set_count == 3
+        assert not dsu.union(0, 1)
+        assert dsu.set_count == 3
+
+    def test_connected(self):
+        dsu = DisjointSetUnion(4)
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        assert dsu.connected(0, 1)
+        assert not dsu.connected(1, 2)
+        dsu.union(1, 2)
+        assert dsu.connected(0, 3)
+
+    def test_size_of(self):
+        dsu = DisjointSetUnion(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.size_of(0) == 3
+        assert dsu.size_of(4) == 1
+
+    def test_union_edges(self):
+        dsu = DisjointSetUnion(4)
+        merges = dsu.union_edges(np.array([[0, 1], [1, 2], [0, 2]]))
+        assert merges == 2
+        assert dsu.set_count == 2
+
+    def test_labels_canonical(self):
+        dsu = DisjointSetUnion(4)
+        dsu.union(2, 3)
+        labels = dsu.labels()
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[1]
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_zero_elements(self):
+        dsu = DisjointSetUnion(0)
+        assert dsu.set_count == 0
+        assert dsu.labels().size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    data=st.data(),
+)
+def test_dsu_matches_naive_partition(n, data):
+    """DSU agrees with a naive partition-merging implementation."""
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=80,
+        )
+    )
+    dsu = DisjointSetUnion(n)
+    naive = [{i} for i in range(n)]
+    lookup = list(range(n))
+
+    for a, b in ops:
+        dsu.union(a, b)
+        ra, rb = lookup[a], lookup[b]
+        if ra != rb:
+            naive[ra] |= naive[rb]
+            for x in naive[rb]:
+                lookup[x] = ra
+            naive[rb] = set()
+
+    for a in range(n):
+        for b in range(n):
+            assert dsu.connected(a, b) == (lookup[a] == lookup[b])
+
+    assert dsu.set_count == sum(1 for s in naive if s)

@@ -1,0 +1,89 @@
+"""Tests for RNG discipline and validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    ensure_rng,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(123).integers(0, 1 << 30, size=8)
+        b = ensure_rng(123).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        kids = spawn_rngs(0, 2)
+        a = kids[0].integers(0, 1 << 30, size=16)
+        b = kids[1].integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_seed(self):
+        a = spawn_rngs(9, 3)[2].integers(0, 1 << 30, size=4)
+        b = spawn_rngs(9, 3)[2].integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidators:
+    def test_positive_int_accepts_numpy_ints(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+    def test_in_range(self):
+        assert check_in_range(2, "x", 1, 3) == 2.0
+        with pytest.raises(ValueError):
+            check_in_range(0, "x", 1, 3)

@@ -1,0 +1,179 @@
+"""Tests for SimpleRandomWalk, independence detection, and the direct
+walker (Theorem 3, Lemmas 5.3/5.6)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import (
+    detect_independence,
+    direct_walk_targets,
+    independent_random_walks,
+    next_power_of_two,
+    simple_random_walk,
+)
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    permutation_regular_graph,
+    walk_distribution,
+)
+from repro.mpc import MPCEngine
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(8) == 8
+        assert next_power_of_two(9) == 16
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestSimpleRandomWalk:
+    def test_targets_in_component(self):
+        g = cycle_graph(8)
+        run = simple_random_walk(g, 4, rng=0)
+        assert run.targets.shape == (8,)
+        assert np.all((0 <= run.targets) & (run.targets < 8))
+
+    def test_parity_respected_on_even_cycle(self):
+        """A 4-step walk on an even cycle ends at even distance — a sharp
+        distributional check that the layered structure walks correctly."""
+        g = cycle_graph(8)
+        run = simple_random_walk(g, 4, rng=1)
+        displacement = (run.targets - np.arange(8)) % 8
+        assert np.all(displacement % 2 == 0)
+
+    def test_rounds_charged_o_log_t(self):
+        g = permutation_regular_graph(16, 4, rng=0)
+        engine_short = MPCEngine(10**6)
+        simple_random_walk(g, 4, rng=0, engine=engine_short)
+        engine_long = MPCEngine(10**6)
+        simple_random_walk(g, 64, rng=0, engine=engine_long)
+        # log2(64)/log2(4) = 3x the doubling iterations, but rounds grow
+        # strictly less than linearly in t (16x).
+        assert engine_short.rounds < engine_long.rounds
+        assert engine_long.rounds < 8 * engine_short.rounds
+
+    def test_target_distribution_matches_walk_matrix(self):
+        """Empirical target frequencies ≈ W^t e_v (exact distribution)."""
+        g = permutation_regular_graph(6, 4, rng=0)
+        t = 4
+        start = 2
+        expected = walk_distribution(g, start, t)
+        rng = np.random.default_rng(7)
+        counts = np.zeros(6)
+        trials = 3000
+        for _ in range(trials):
+            run = simple_random_walk(g, t, rng=rng)
+            counts[run.targets[start]] += 1
+        observed = counts / trials
+        support = expected > 1e-12
+        chi2 = trials * np.sum(
+            (observed[support] - expected[support]) ** 2 / expected[support]
+        )
+        dof = int(support.sum()) - 1
+        assert chi2 < stats.chi2.ppf(0.999, dof)
+
+    def test_independence_survival_rate(self):
+        """Lemma 5.3: each start survives with probability >= 1/2."""
+        g = permutation_regular_graph(24, 4, rng=0)
+        rng = np.random.default_rng(3)
+        rates = []
+        for _ in range(30):
+            run = simple_random_walk(g, 8, rng=rng)
+            rates.append(run.independent.mean())
+        assert np.mean(rates) >= 0.5
+
+
+class TestDetectIndependence:
+    def test_disjoint_paths_kept(self):
+        paths = np.array([[0, 1], [2, 3], [4, 5]])
+        assert detect_independence(paths).all()
+
+    def test_shared_vertex_kills_both(self):
+        paths = np.array([[0, 1], [2, 1], [4, 5]])
+        flags = detect_independence(paths)
+        assert flags.tolist() == [False, False, True]
+
+    def test_three_way_collision(self):
+        paths = np.array([[0, 9], [1, 9], [2, 9]])
+        assert not detect_independence(paths).any()
+
+
+class TestIndependentRandomWalks:
+    def test_every_vertex_gets_target(self):
+        g = permutation_regular_graph(20, 4, rng=0)
+        targets = independent_random_walks(g, 8, rng=1)
+        assert np.all(targets >= 0)
+        assert targets.shape == (20,)
+
+    def test_engine_charged_once_for_parallel_runs(self):
+        g = permutation_regular_graph(20, 4, rng=0)
+        engine = MPCEngine(10**6)
+        independent_random_walks(g, 8, rng=1, engine=engine)
+        single = MPCEngine(10**6)
+        simple_random_walk(g, 8, rng=1, engine=single)
+        assert engine.rounds == single.rounds
+
+    def test_max_runs_exceeded_raises(self):
+        g = complete_graph(4)
+        with pytest.raises(RuntimeError, match="independent walks"):
+            independent_random_walks(g, 2, rng=0, max_runs=0)
+
+
+class TestDirectWalker:
+    def test_shape(self):
+        g = permutation_regular_graph(10, 4, rng=0)
+        targets = direct_walk_targets(g, 8, 5, rng=0)
+        assert targets.shape == (10, 5)
+
+    def test_requires_regular(self):
+        from repro.graph import Graph
+
+        with pytest.raises(ValueError):
+            direct_walk_targets(Graph(3, [(0, 1), (1, 2)]), 4, 2, rng=0)
+
+    def test_lazy_distribution_matches_matrix(self):
+        """Direct lazy walker matches the lazy walk distribution W̄^t e_v —
+        the distributional equivalence DESIGN.md claims for the scale
+        substitute."""
+        g = cycle_graph(5)
+        t = 6
+        expected = walk_distribution(g, 0, t, lazy=True)
+        targets = direct_walk_targets(g, t, 4000, rng=11)[0]
+        observed = np.bincount(targets, minlength=5) / targets.size
+        chi2 = targets.size * np.sum((observed - expected) ** 2 / expected)
+        assert chi2 < stats.chi2.ppf(0.999, 4)
+
+    def test_non_lazy_parity(self):
+        g = cycle_graph(8)
+        targets = direct_walk_targets(g, 4, 3, rng=0, lazy=False)
+        displacement = (targets - np.arange(8)[:, None]) % 8
+        assert np.all(displacement % 2 == 0)
+
+    def test_columns_are_independent_walks(self):
+        """Independence smoke test: correlation between two columns of
+        endpoints across repetitions is near zero on a vertex-transitive
+        graph."""
+        g = cycle_graph(16)
+        rng = np.random.default_rng(5)
+        a, b = [], []
+        for _ in range(400):
+            targets = direct_walk_targets(g, 8, 2, rng=rng)
+            a.append(targets[0, 0])
+            b.append(targets[0, 1])
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.15
+
+    def test_engine_charges_match_theorem3(self):
+        g = permutation_regular_graph(10, 4, rng=0)
+        direct_engine = MPCEngine(10**6)
+        direct_walk_targets(g, 8, 3, rng=0, engine=direct_engine)
+        layered_engine = MPCEngine(10**6)
+        simple_random_walk(g, 8, rng=0, engine=layered_engine)
+        assert direct_engine.rounds == layered_engine.rounds

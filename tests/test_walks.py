@@ -1,0 +1,139 @@
+"""Tests for random walks and mixing times (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    empirical_mixing_time,
+    lazy_random_walk,
+    mixing_time_bound,
+    path_graph,
+    permutation_regular_graph,
+    random_walk,
+    spectral_gap,
+    stationary_distribution,
+    tv_distance,
+    walk_distribution,
+    walk_matrix,
+)
+
+
+class TestWalkMatrix:
+    def test_column_stochastic(self):
+        g = permutation_regular_graph(20, 4, rng=0)
+        mat = walk_matrix(g).toarray()
+        assert np.allclose(mat.sum(axis=0), 1.0)
+
+    def test_lazy_diagonal(self):
+        g = cycle_graph(5)
+        lazy = walk_matrix(g, lazy=True).toarray()
+        assert np.allclose(np.diag(lazy), 0.5)
+
+    def test_stationary_is_fixed_point(self):
+        g = Graph(3, [(0, 1), (1, 2), (1, 2)])
+        pi = stationary_distribution(g)
+        mat = walk_matrix(g)
+        assert np.allclose(mat @ pi, pi)
+        lazy = walk_matrix(g, lazy=True)
+        assert np.allclose(lazy @ pi, pi)
+
+    def test_isolated_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            walk_matrix(Graph(2, [(0, 0)]))
+
+
+class TestDistributions:
+    def test_walk_distribution_sums_to_one(self):
+        g = permutation_regular_graph(15, 4, rng=0)
+        dist = walk_distribution(g, 0, 7)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_length_zero_is_point_mass(self):
+        g = cycle_graph(4)
+        dist = walk_distribution(g, 2, 0)
+        assert dist[2] == 1.0
+
+    def test_bipartite_simple_walk_oscillates(self):
+        # On C_4 (bipartite) the plain walk never mixes; the lazy one does.
+        g = cycle_graph(4)
+        pi = stationary_distribution(g)
+        plain = walk_distribution(g, 0, 101)
+        lazy = walk_distribution(g, 0, 101, lazy=True)
+        assert tv_distance(plain, pi) > 0.4
+        assert tv_distance(lazy, pi) < 1e-3
+
+    def test_tv_distance_properties(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert tv_distance(p, q) == 1.0
+        assert tv_distance(p, p) == 0.0
+        with pytest.raises(ValueError):
+            tv_distance(p, np.array([1.0]))
+
+
+class TestTrajectories:
+    def test_walk_length(self):
+        g = cycle_graph(10)
+        path = random_walk(g, 0, 20, rng=0)
+        assert path.shape == (21,)
+        assert path[0] == 0
+
+    def test_walk_respects_adjacency(self):
+        g = cycle_graph(10)
+        path = random_walk(g, 0, 50, rng=1)
+        steps = np.abs(np.diff(path))
+        assert np.all((steps == 1) | (steps == 9))
+
+    def test_lazy_walk_can_stay(self):
+        g = cycle_graph(10)
+        path = lazy_random_walk(g, 0, 100, rng=2)
+        assert np.any(np.diff(path) == 0)
+
+    def test_stuck_vertex_raises(self):
+        g = Graph(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            random_walk(g, 1, 1, rng=0)
+
+    def test_reproducible(self):
+        g = permutation_regular_graph(30, 6, rng=0)
+        a = random_walk(g, 0, 25, rng=9)
+        b = random_walk(g, 0, 25, rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestMixingTime:
+    def test_bound_monotone_in_gap(self):
+        assert mixing_time_bound(1000, 0.5) < mixing_time_bound(1000, 0.05)
+
+    def test_bound_monotone_in_gamma(self):
+        assert mixing_time_bound(1000, 0.3, 1e-6) > mixing_time_bound(1000, 0.3, 1e-2)
+
+    def test_empirical_vs_bound_on_expander(self):
+        """Proposition 2.2: the bound dominates the true mixing time."""
+        g = permutation_regular_graph(100, 8, rng=3)
+        gamma = 1e-3
+        bound = mixing_time_bound(g.n, spectral_gap(g), gamma)
+        actual = empirical_mixing_time(g, gamma)
+        assert actual <= bound
+
+    def test_complete_graph_mixes_fast(self):
+        assert empirical_mixing_time(complete_graph(30), 1e-3) <= 25
+
+    def test_path_mixes_slowly(self):
+        fast = empirical_mixing_time(complete_graph(30), 1e-2)
+        slow = empirical_mixing_time(path_graph(30), 1e-2)
+        assert slow > 5 * fast
+
+    def test_subset_starts_lower_bound(self):
+        g = cycle_graph(20)
+        partial = empirical_mixing_time(g, 1e-2, starts=np.array([0]))
+        full = empirical_mixing_time(g, 1e-2)
+        assert partial <= full
+
+    def test_disconnected_never_mixes(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(RuntimeError):
+            empirical_mixing_time(g, 1e-3, max_steps=50)
