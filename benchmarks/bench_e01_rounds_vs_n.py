@@ -1,79 +1,10 @@
-"""E1 — Theorem 1/4 headline: rounds vs n on well-connected graphs.
+"""E1 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: ``O(log log n)`` MPC rounds for graphs whose components have
-constant spectral gap, against the ``Θ(log n)`` of classical leader
-election / label propagation.  Expected shape: the pipeline column is
-(nearly) flat across a 64x range of n; every baseline column climbs.
+CLI equivalent: ``python -m repro.bench --suite full --filter e01``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro import theory
-from repro.baselines import pointer_jumping_propagation, random_mate_components
-from repro.graph import components_agree, connected_components, permutation_regular_graph
-from repro.mpc import MPCEngine
-
-SIZES = [256, 1024, 4096, 16384]
-CONFIG = repro.PipelineConfig(
-    delta=0.5, expander_degree=4, max_walk_length=160, oversample=6
-)
-
-
-def pipeline_rounds(n: int, seed: int) -> int:
-    graph = permutation_regular_graph(n, 6, rng=seed)
-    result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=0.25, config=CONFIG, rng=seed
-    )
-    assert components_agree(result.labels, connected_components(graph))
-    return result.rounds
-
-
-def baseline_rounds(n: int, seed: int) -> "tuple[int, int]":
-    graph = permutation_regular_graph(n, 6, rng=seed)
-    engine_h = MPCEngine.for_delta(graph.n + graph.m, 0.5)
-    pointer_jumping_propagation(graph, engine=engine_h)
-    engine_r = MPCEngine.for_delta(graph.n + graph.m, 0.5)
-    random_mate_components(graph, rng=seed, engine=engine_r)
-    return engine_h.rounds, engine_r.rounds
-
-
-def test_e01_rounds_vs_n(benchmark, report):
-    seed = 3
-    rows = []
-    ours = {}
-    mates = {}
-    for n in SIZES:
-        ours[n] = pipeline_rounds(n, seed)
-        htm, mates[n] = baseline_rounds(n, seed)
-        rows.append(
-            [
-                n,
-                ours[n],
-                htm,
-                mates[n],
-                f"{theory.theorem1_rounds(n, 0.25, delta=0.5):.1f}",
-                f"{theory.classical_pram_rounds(n):.1f}",
-            ]
-        )
-
-    benchmark.pedantic(pipeline_rounds, args=(SIZES[-1], seed), rounds=1, iterations=1)
-
-    report(
-        "E01",
-        "MPC rounds vs n on constant-gap expanders (Theorem 1)",
-        ["n", "pipeline", "hash-to-min", "random-mate", "Thm1 shape", "log n shape"],
-        rows,
-        notes=(
-            "Expected shape: pipeline ~flat (log log n); baselines climb "
-            "(log n). Absolute crossover lies beyond laptop n — the paper's "
-            "win is asymptotic; the shape is the reproduced result."
-        ),
-    )
-
-    # Shape assertions: over a 64x range the pipeline may not grow faster
-    # than the doubly-log budget, while random-mate must keep climbing.
-    assert ours[SIZES[-1]] - ours[SIZES[0]] <= 8
-    assert mates[SIZES[-1]] >= mates[SIZES[0]] + 8
+def test_e01_rounds_vs_n(bench_case):
+    bench_case("e01_rounds_vs_n")

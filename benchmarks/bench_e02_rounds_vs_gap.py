@@ -1,79 +1,10 @@
-"""E2 — Theorem 1/4: rounds grow as log(1/λ).
+"""E2 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: the pipeline costs ``O(log log n + log(1/λ))`` rounds.  We
-hold n fixed and sweep the spectral gap downward by thinning the bridge
-between two expanders (a dumbbell: gap ∝ bridge count), and check that
-the walk length tracks ``1/λ`` and the round count tracks ``log(1/λ)``.
-The engine's machine memory is held fixed across the sweep so
-per-primitive costs don't drift with anything but the walk structure.
+CLI equivalent: ``python -m repro.bench --suite full --filter e02``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro import theory
-from repro.graph import components_agree, connected_components, dumbbell_graph, spectral_gap
-from repro.mpc import MPCEngine
-
-HALF = 192
-BRIDGES = [384, 96, 24, 6]
-CONFIG = repro.PipelineConfig(
-    delta=0.5, expander_degree=4, max_walk_length=8192, oversample=6
-)
-ENGINE_MEMORY = 4096
-
-
-def run_one(bridges: int, seed: int) -> "tuple[float, int, int]":
-    graph = dumbbell_graph(HALF, 8, bridges=bridges, rng=seed)
-    gap = spectral_gap(graph)
-    engine = MPCEngine(ENGINE_MEMORY)
-    result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=gap, config=CONFIG, rng=seed, engine=engine
-    )
-    assert components_agree(result.labels, connected_components(graph))
-    return gap, result.walk_length, result.rounds
-
-
-def test_e02_rounds_vs_gap(benchmark, report):
-    seed = 11
-    rows = []
-    gaps = []
-    walks = []
-    rounds_series = []
-    for bridges in BRIDGES:
-        gap, walk_length, rounds = run_one(bridges, seed)
-        gaps.append(gap)
-        walks.append(walk_length)
-        rounds_series.append(rounds)
-        rows.append(
-            [
-                bridges,
-                f"{gap:.5f}",
-                f"{np.log2(1 / gap):.1f}",
-                walk_length,
-                rounds,
-                f"{theory.theorem1_rounds(2 * HALF, gap, delta=0.5):.1f}",
-            ]
-        )
-
-    benchmark.pedantic(run_one, args=(BRIDGES[-1], seed), rounds=1, iterations=1)
-
-    report(
-        "E02",
-        "MPC rounds vs spectral gap (dumbbell bridge sweep, n=384; Theorem 1)",
-        ["bridges", "gap λ", "log2(1/λ)", "walk T", "rounds", "Thm1 shape"],
-        rows,
-        notes=(
-            "Expected shape: each quartering of λ doubles the walk length "
-            "T and adds ~O(1/δ) rounds (one extra pointer-doubling level); "
-            "n is fixed so the log log n term is constant."
-        ),
-    )
-
-    # Gap decreases along the sweep; walk length and rounds increase.
-    assert all(b < a for a, b in zip(gaps, gaps[1:]))
-    assert all(b >= a for a, b in zip(walks, walks[1:]))
-    assert walks[-1] > walks[0]
-    assert rounds_series[-1] > rounds_series[0]
+def test_e02_rounds_vs_gap(bench_case):
+    bench_case("e02_rounds_vs_gap")

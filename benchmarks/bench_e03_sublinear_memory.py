@@ -1,82 +1,10 @@
-"""E3 — Theorem 2: rounds vs machine memory on arbitrary graphs.
+"""E3 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: ``SublinearConn`` finds components of *any* graph in
-``O(log log n + log(n/s))`` rounds with memory ``s = n^{Ω(1)}``.  Expected
-shape: rounds fall as ``s`` grows (through the shorter degree-boosting
-walks), on workloads with no spectral-gap structure at all.
+CLI equivalent: ``python -m repro.bench --suite full --filter e03``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro import theory
-from repro.core import sublinear_connectivity
-from repro.graph import (
-    components_agree,
-    connected_components,
-    grid_graph,
-    paper_random_graph,
-    path_graph,
-)
-
-N = 1024
-MEMORIES = [32, 64, 128, 256, 512]
-
-
-def workloads(seed: int) -> dict:
-    return {
-        "path": path_graph(N),
-        "grid": grid_graph(32, 32),
-        "sparse-random": paper_random_graph(N, 4, rng=seed),
-    }
-
-
-def run_one(graph, memory: int, seed: int):
-    result = sublinear_connectivity(graph, machine_memory=memory, rng=seed, walk_cap=4000)
-    assert components_agree(result.labels, connected_components(graph))
-    return result
-
-
-def test_e03_sublinear_memory(benchmark, report):
-    seed = 17
-    rows = []
-    per_workload: "dict[str, list[int]]" = {}
-    for name, graph in workloads(seed).items():
-        per_workload[name] = []
-        for memory in MEMORIES:
-            result = run_one(graph, memory, seed)
-            per_workload[name].append(result.rounds)
-            rows.append(
-                [
-                    name,
-                    memory,
-                    result.degree_target,
-                    result.walk_length,
-                    result.contracted_vertices,
-                    result.rounds,
-                    f"{theory.theorem2_rounds(N, memory):.1f}",
-                ]
-            )
-
-    benchmark.pedantic(
-        run_one, args=(path_graph(N), MEMORIES[0], seed), rounds=1, iterations=1
-    )
-
-    report(
-        "E03",
-        "SublinearConn rounds vs machine memory (Theorem 2)",
-        ["workload", "s", "d", "walk t", "|V(H)|", "rounds", "Thm2 shape"],
-        rows,
-        notes=(
-            "Expected shape: rounds fall as s grows — log(n/s) through the "
-            "walk length; exactness holds on every workload (no gap "
-            "assumptions)."
-        ),
-    )
-
-    for name, series in per_workload.items():
-        assert series[-1] <= series[0], name
-        # Weak monotonicity: allow one inversion from rounding.
-        violations = sum(1 for a, b in zip(series, series[1:]) if b > a)
-        assert violations <= 1, name
+def test_e03_sublinear_memory(bench_case):
+    bench_case("e03_sublinear_memory")

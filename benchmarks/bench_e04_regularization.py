@@ -1,96 +1,10 @@
-"""E4 — Lemma 4.1 / Proposition 4.2: the regularization step.
+"""E4 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claims: the replacement product yields a Δ-regular graph on 2m
-vertices, with a one-to-one component correspondence, and preserves the
-spectral gap up to constants (so mixing time stays O(log(n/γ)/λ₂(G))).
-The table reports measured gap retention per workload, against both the
-library's calibrated constant and the (very pessimistic) Prop 4.2 bound.
+CLI equivalent: ``python -m repro.bench --suite full --filter e04``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.core import PipelineConfig, regularize
-from repro.graph import (
-    components_agree,
-    connected_components,
-    dumbbell_graph,
-    hypercube_graph,
-    paper_random_graph,
-    spectral_gap,
-    star_graph,
-    two_sided_spectral_gap,
-)
-from repro.products import regular_graph_construction
-
-DEGREE = 8
-
-
-def workloads(seed: int) -> dict:
-    return {
-        "random G(n,8)": paper_random_graph(120, 8, rng=seed),
-        "star n=80": star_graph(80),
-        "hypercube d=7": hypercube_graph(7),
-        "dumbbell": dumbbell_graph(60, 8, bridges=2, rng=seed),
-    }
-
-
-def run_one(graph, seed: int):
-    reg = regularize(graph, expander_degree=DEGREE, rng=seed)
-    return reg
-
-
-def test_e04_regularization(benchmark, report):
-    seed = 23
-    config = PipelineConfig(expander_degree=DEGREE)
-    retention_floor = config.effective_gap_retention
-    rows = []
-    for name, graph in workloads(seed).items():
-        base_gap = spectral_gap(graph)
-        reg = run_one(graph, seed)
-        product_gap = spectral_gap(reg.graph)
-        lifted = reg.lift_labels(connected_components(reg.graph))
-        preserved = components_agree(lifted, connected_components(graph))
-        clouds = regular_graph_construction(
-            np.unique(np.asarray(graph.degrees)).tolist(), DEGREE, rng=seed
-        )
-        lam_h = min(two_sided_spectral_gap(c) for c in clouds.values())
-        prop42_bound = (DEGREE**2 / (DEGREE + 1) ** 3) * base_gap * lam_h**2 / 6
-        retention = product_gap / base_gap
-        rows.append(
-            [
-                name,
-                reg.graph.n,
-                f"{reg.regular_degree}-reg: {reg.graph.is_regular(reg.regular_degree)}",
-                "yes" if preserved else "NO",
-                f"{base_gap:.4f}",
-                f"{product_gap:.4f}",
-                f"{retention:.3f}",
-                f"{prop42_bound:.6f}",
-            ]
-        )
-        assert reg.graph.n == 2 * graph.m
-        assert preserved
-        assert product_gap >= prop42_bound
-        # The calibration constant is a central estimate; individual
-        # workloads scatter around it (dumbbells sit a little below).
-        assert retention >= retention_floor * 0.6
-
-    benchmark.pedantic(
-        run_one, args=(workloads(seed)["random G(n,8)"], seed), rounds=1, iterations=1
-    )
-
-    report(
-        "E04",
-        "Regularization: Lemma 4.1 structure + Prop 4.2 gap retention",
-        ["workload", "2m", "regular", "components kept", "λ₂(G)", "λ₂(GrH)",
-         "retention", "Prop4.2 floor"],
-        rows,
-        notes=(
-            f"Library calibration: retention ≈ {retention_floor:.3f} "
-            f"(0.8/(d+1) for d={DEGREE}); the Prop 4.2 floor is orders of "
-            "magnitude below the measured retention, as expected of the "
-            "worst-case constant."
-        ),
-    )
+def test_e04_regularization(bench_case):
+    bench_case("e04_regularization")

@@ -1,84 +1,10 @@
-"""E6 — Lemma 5.1: the randomization step's output distribution.
+"""E6 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claims: after walks of mixing length, every component becomes (TV-
-close to) a sample of ``G(n_i, Θ(log n))`` on its own vertex set — walk
-targets near-uniform within the component, never crossing components, and
-the resulting graph connected per component w.h.p. (Prop. 2.4).
+CLI equivalent: ``python -m repro.bench --suite full --filter e06``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.core import randomize_components
-from repro.graph import (
-    components_agree,
-    connected_components,
-    disjoint_union,
-    permutation_regular_graph,
-)
-
-SIZES = [48, 96]
-DEGREE = 6
-
-
-def build(seed: int):
-    parts = [permutation_regular_graph(s, DEGREE, rng=seed + i) for i, s in enumerate(SIZES)]
-    union, offsets = disjoint_union(parts)
-    return union, offsets
-
-
-def run_one(seed: int):
-    graph, offsets = build(seed)
-    result = randomize_components(
-        graph, 64, batches=2, batch_half_degree=8, rng=seed
-    )
-    return graph, offsets, result
-
-
-def test_e06_randomization(benchmark, report):
-    seeds = range(40, 50)
-    tv_rows = []
-    connected_successes = 0
-    crossing_edges = 0
-
-    for seed in seeds:
-        graph, offsets, result = run_one(seed)
-        truth = connected_components(graph)
-        if components_agree(connected_components(result.graph), truth):
-            connected_successes += 1
-        for batch in result.batches:
-            crossing_edges += int(
-                np.sum(truth[batch[:, 0]] != truth[batch[:, 1]])
-            )
-
-    # Distributional detail on one seed: per-component target uniformity.
-    graph, offsets, result = run_one(99)
-    all_targets = np.concatenate([b[:, 1] for b in result.batches])
-    all_sources = np.concatenate([b[:, 0] for b in result.batches])
-    for comp, (lo, hi) in enumerate(zip(offsets[:-1], offsets[1:])):
-        in_comp = (all_sources >= lo) & (all_sources < hi)
-        targets = all_targets[in_comp]
-        counts = np.bincount(targets - lo, minlength=hi - lo)
-        freq = counts / counts.sum()
-        tv = 0.5 * np.abs(freq - 1.0 / (hi - lo)).sum()
-        tv_rows.append([f"component {comp}", int(hi - lo), int(counts.sum()),
-                        f"{tv:.4f}"])
-        assert tv < 0.2
-
-    benchmark.pedantic(run_one, args=(40,), rounds=1, iterations=1)
-
-    report(
-        "E06",
-        "Randomization (Lemma 5.1): uniformity, containment, connectivity",
-        ["component", "n_i", "targets", "TV to uniform"],
-        tv_rows,
-        notes=(
-            f"Across {len(list(seeds))} seeds: components preserved+connected in "
-            f"{connected_successes}/{len(list(seeds))} runs; cross-component walk "
-            f"edges: {crossing_edges} (must be 0 — walks cannot escape)."
-        ),
-    )
-
-    assert crossing_edges == 0
-    assert connected_successes >= 9
+def test_e06_randomization(bench_case):
+    bench_case("e06_randomization")

@@ -1,105 +1,14 @@
-"""E7 — Lemmas 6.4/6.7: quadratic component growth.
+"""E7 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claims: phase ``i`` of ``GrowComponents`` on fresh ``G(n, Δ·s)``
-batches produces components of size ``J(1±ε)Δ_i/ΔK`` with the contraction
-graph ``J(1±ε)Δ_{i+1}·sK``-almost-regular — sizes square each phase
-(``Δ_i = Δ^{2^{i-1}}``), against the constant factor of classical leader
-election.
+CLI equivalent: ``python -m repro.bench --suite full --filter e07``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis import Interval
-from repro.core import grow_components
-from repro.graph import paper_random_graph_edges
-from repro.utils.rng import spawn_rngs
-
-N = 20_000
-GROWTH = 4
-OVERSAMPLE = 10
-PHASES = 2
+def test_e07_quadratic_growth(bench_case):
+    bench_case("e07_quadratic_growth")
 
 
-def run_grow(seed: int):
-    rngs = spawn_rngs(seed, PHASES)
-    half = GROWTH * OVERSAMPLE // 2
-    batches = [paper_random_graph_edges(N, half, rng) for rng in rngs]
-    schedule = [GROWTH ** (2 ** (i - 1)) for i in range(1, PHASES + 1)]
-    return grow_components(N, batches, schedule, rng=seed)
-
-
-def test_e07_quadratic_growth(benchmark, report):
-    seed = 51
-    result = benchmark.pedantic(run_grow, args=(seed,), rounds=1, iterations=1)
-
-    rows = []
-    for t in result.telemetry:
-        target_size = GROWTH ** (2**t.phase - 1)
-        size_interval = Interval.one_pm(0.5) * target_size
-        rows.append(
-            [
-                t.phase,
-                t.growth_target,
-                f"{t.leader_prob:.4f}",
-                t.components_before,
-                t.components_after,
-                f"{t.mean_component_size:.1f}",
-                target_size,
-                "yes" if size_interval.contains(t.mean_component_size) else "NO",
-                f"{t.mean_contraction_degree:.1f}",
-                t.unmatched,
-            ]
-        )
-
-    report(
-        "E07",
-        "GrowComponents: per-phase growth (Lemma 6.7; Δ_i = Δ^{2^{i-1}})",
-        ["phase", "Δ_i", "p_i", "comps before", "comps after", "mean size",
-         "target Δ^{2^i-1}", "in J(1±.5)K", "contraction deg", "unmatched"],
-        rows,
-        notes=(
-            "Expected shape: mean component size ≈ 4 after phase 1 and "
-            "≈ 64 after phase 2 (squared growth); contraction degree "
-            "multiplies by ≈ Δ between phases (Claims 6.9/6.10)."
-        ),
-    )
-
-    t1, t2 = result.telemetry
-    assert Interval.one_pm(0.5).scale(GROWTH).contains(t1.mean_component_size)
-    assert Interval.one_pm(0.6).scale(GROWTH**3).contains(t2.mean_component_size)
-    # Degree roughly squares (ratio ≈ GROWTH within 2x slack).
-    ratio = t2.mean_contraction_degree / t1.mean_contraction_degree
-    assert GROWTH / 2 <= ratio <= GROWTH * 2
-
-
-def test_e07_equipartition_interval(benchmark, report):
-    """Lemma 6.4 head-on: star sizes concentrate in J(1±3ε)dK."""
-    from repro.core import leader_election
-    from repro.graph import paper_random_graph
-
-    seed = 53
-    d, s = 25, 60
-    n = 6000
-
-    def run():
-        rng = np.random.default_rng(seed)
-        g = paper_random_graph(n, d * s, rng=rng)
-        edges = g.simplify().edges
-        return leader_election(n, edges, 1.0 / d, rng=rng)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    sizes = result.component_sizes()
-    interval = Interval.one_pm(0.4) * d
-    inside = float(np.mean([interval.low <= x <= interval.high for x in sizes]))
-    matched = float(np.mean(result.leader_of >= 0))
-    report(
-        "E07b",
-        "LeaderElection equipartition (Lemma 6.4)",
-        ["n", "degree d·s", "p=1/d", "mean |S_i|", "frac in J(1±0.4)dK", "matched"],
-        [[n, d * s, f"{1/d:.3f}", f"{sizes.mean():.1f}", f"{inside:.3f}",
-          f"{matched:.4f}"]],
-    )
-    assert matched > 0.99
-    assert inside > 0.85
+def test_e07_equipartition_interval(bench_case):
+    bench_case("e07b_equipartition")

@@ -1,65 +1,10 @@
-"""E8 — Claim 6.13: the final contraction graph has O(1) diameter.
+"""E8 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: after the F growth phases, the contracted graph (components
-of size n^{Ω(1)} over the union of random batches) has constant diameter,
-so the closing broadcast costs O(1) rounds.  Expected shape: both the
-diameter and the broadcast round count stay flat as n grows 16x.
+CLI equivalent: ``python -m repro.bench --suite full --filter e08``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.core import grow_components, random_graph_components
-from repro.graph import Graph, component_count, diameter, paper_random_graph_edges
-from repro.utils.rng import spawn_rngs
-
-SIZES = [2_000, 8_000, 32_000]
-GROWTH = 4
-HALF = 20  # Δ·s/2
-
-
-def run_one(n: int, seed: int):
-    rngs = spawn_rngs(seed, 2)
-    batches = [paper_random_graph_edges(n, HALF, rng) for rng in rngs]
-    schedule = [GROWTH, GROWTH**2]
-    result = random_graph_components(n, batches, schedule, rng=seed)
-
-    # Rebuild the final contraction graph to measure its diameter.
-    grow_labels = result.grow.labels
-    union = np.concatenate(batches, axis=0)
-    contracted = Graph(
-        int(grow_labels.max()) + 1, grow_labels[union]
-    ).simplify()
-    diam = (
-        diameter(contracted, rng=seed)
-        if component_count(contracted) == 1
-        else -1
-    )
-    return diam, result.broadcast_rounds, contracted.n
-
-
-def test_e08_contraction_diameter(benchmark, report):
-    seed = 61
-    rows = []
-    diameters = []
-    for n in SIZES:
-        diam, broadcast_rounds, contracted_n = run_one(n, seed)
-        diameters.append(diam)
-        rows.append([n, contracted_n, diam, broadcast_rounds])
-
-    benchmark.pedantic(run_one, args=(SIZES[0], seed), rounds=1, iterations=1)
-
-    report(
-        "E08",
-        "Final contraction graph diameter (Claim 6.13) and broadcast rounds",
-        ["n", "|V(H_F)|", "diameter", "broadcast rounds"],
-        rows,
-        notes=(
-            "Expected shape: diameter stays O(1) (the contracted graph is "
-            "a dense random graph), so the Claim 6.14 broadcast is O(1) "
-            "rounds at every n."
-        ),
-    )
-
-    assert all(0 <= d <= 4 for d in diameters), diameters
+def test_e08_contraction_diameter(bench_case):
+    bench_case("e08_contraction_diameter")

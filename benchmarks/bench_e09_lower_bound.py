@@ -1,76 +1,10 @@
-"""E9 — Theorem 5 / Lemma 9.3: the Ω(n / log n) query lower bound.
+"""E9 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: any decision tree for ExpanderConn needs Ω(n/log n) edge
-queries — the adversary keeps ≥ 1 hard-family member alive until
-``k / max-multiplicity`` queries have been spent.  We play three probers
-against the adversary across an 8x range of n; every one is forced past
-the counting bound, and the bound itself grows like n / log n.
+CLI equivalent: ``python -m repro.bench --suite full --filter e09``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro import theory
-from repro.lower_bound import (
-    AdversaryGame,
-    build_hard_family,
-    family_edge_strategy,
-    greedy_multiplicity_strategy,
-    play_until_resolved,
-)
-
-SIZES = [128, 256, 512, 1024]
-DEGREE = 6
-
-
-def resolve_with(family, strategy_factory, seed):
-    game = AdversaryGame.fresh(family)
-    strategy = strategy_factory(seed) if seed is not None else strategy_factory()
-    return play_until_resolved(game, strategy)
-
-
-def test_e09_query_lower_bound(benchmark, report):
-    rows = []
-    bounds = []
-    for n in SIZES:
-        family = build_hard_family(n, DEGREE, rng=n)
-        bound = family.query_lower_bound()
-        bounds.append(bound)
-        greedy = resolve_with(family, lambda: greedy_multiplicity_strategy(), None)
-        edges = resolve_with(family, family_edge_strategy, n + 1)
-        rows.append(
-            [
-                n,
-                family.size,
-                family.max_multiplicity,
-                bound,
-                greedy["queries"],
-                edges["queries"],
-                f"{theory.lower_bound_queries(n, c=family.size / n):.0f}",
-            ]
-        )
-        assert greedy["queries"] >= bound
-        assert edges["queries"] >= bound
-
-    family = build_hard_family(SIZES[0], DEGREE, rng=SIZES[0])
-    benchmark.pedantic(
-        resolve_with, args=(family, family_edge_strategy, 7), rounds=1, iterations=1
-    )
-
-    report(
-        "E09",
-        "ExpanderConn query complexity vs adversary (Lemma 9.3)",
-        ["n", "family k", "max mult", "k/mult floor", "greedy queries",
-         "edge-prober queries", "Ω(n/log n) shape"],
-        rows,
-        notes=(
-            "Expected shape: every strategy's query count sits on or above "
-            "the k/multiplicity floor, which grows ~ n/log n; Theorem 5 "
-            "converts this to Ω(log_s n) MPC rounds via [53]."
-        ),
-    )
-
-    # The floor itself must grow superlinearly in n/log n terms: an 8x n
-    # gives ≥ 4x the floor.
-    assert bounds[-1] >= 4 * bounds[0]
+def test_e09_query_lower_bound(bench_case):
+    bench_case("e09_query_lower_bound")

@@ -1,73 +1,10 @@
-"""E10 — Proposition B.1: balls-and-bins concentration.
+"""E10 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: throwing N ≤ εB balls into B near-uniform bins leaves
-``J(1±2ε)NK`` non-empty bins except with probability ``exp(-ε²N/2)``.
-This is the engine behind Claim 6.9 (out-edges of a contracted component
-hit almost-distinct components).  The table compares empirical deviation
-frequencies with the bound at several (N, ε).
+CLI equivalent: ``python -m repro.bench --suite full --filter e10``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis import (
-    nonempty_bins_interval,
-    prop_b1_failure_bound,
-    throw_balls,
-)
-
-CASES = [
-    (500, 0.10),
-    (2_000, 0.10),
-    (2_000, 0.05),
-    (8_000, 0.05),
-]
-TRIALS = 300
-
-
-def deviation_rate(balls: int, eps: float, seed: int) -> "tuple[float, float]":
-    rng = np.random.default_rng(seed)
-    bins = int(balls / eps)
-    interval = nonempty_bins_interval(balls, eps)
-    failures = 0
-    total_ratio = 0.0
-    for _ in range(TRIALS):
-        result = throw_balls(balls, bins, eps=eps / 2, rng=rng)
-        total_ratio += result.ratio
-        if not interval.contains(result.nonempty):
-            failures += 1
-    return failures / TRIALS, total_ratio / TRIALS
-
-
-def test_e10_balls_bins(benchmark, report):
-    rows = []
-    for balls, eps in CASES:
-        rate, mean_ratio = deviation_rate(balls, eps, seed=balls)
-        bound = prop_b1_failure_bound(balls, eps)
-        rows.append(
-            [
-                balls,
-                f"{eps:.2f}",
-                int(balls / eps),
-                f"{mean_ratio:.4f}",
-                f"{rate:.4f}",
-                f"{bound:.2e}",
-            ]
-        )
-        assert rate <= bound + 0.02, (balls, eps)
-
-    benchmark.pedantic(deviation_rate, args=(500, 0.1, 500), rounds=1, iterations=1)
-
-    report(
-        "E10",
-        "Balls and bins: non-empty bins in J(1±2ε)NK (Prop. B.1)",
-        ["balls N", "ε", "bins B", "mean nonempty/N", "deviation rate",
-         "exp(-ε²N/2) bound"],
-        rows,
-        notes=(
-            "Expected shape: mean non-empty/N ≈ 1 (N ≪ B loses few balls "
-            "to collisions); empirical deviation frequency below the "
-            "Prop B.1 bound in every regime."
-        ),
-    )
+def test_e10_balls_bins(bench_case):
+    bench_case("e10_balls_bins")

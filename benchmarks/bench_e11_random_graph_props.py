@@ -1,105 +1,14 @@
-"""E11 — Propositions 2.3–2.5: properties of the G(n, d) model.
+"""E11 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claims: (2.3) almost-regularity with discrepancy
-``ε = sqrt(4 log n / d)``; (2.4) connectivity w.p. ``1 - n^{-c/4}`` at
-``d = c log n``; (2.5) expansion / mixing time ``O(d² log(n/γ))``.
-Expected shape: a connectivity phase transition around ``d ≈ log n``, and
-mixing far below the (loose) d² bound.
+CLI equivalent: ``python -m repro.bench --suite full --filter e11``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.graph import (
-    component_count,
-    empirical_mixing_time,
-    paper_random_graph,
-    spectral_gap,
-)
-
-N = 512
-TRIALS = 20
+def test_e11_connectivity_threshold(bench_case):
+    bench_case("e11_connectivity_threshold")
 
 
-def connectivity_rate(n: int, d: int, trials: int, seed: int) -> float:
-    rng = np.random.default_rng(seed)
-    hits = 0
-    for _ in range(trials):
-        if component_count(paper_random_graph(n, d, rng)) == 1:
-            hits += 1
-    return hits / trials
-
-
-def test_e11_connectivity_threshold(benchmark, report):
-    log_n = np.log(N)
-    factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
-    rows = []
-    rates = []
-    for c in factors:
-        d = max(2, int(c * log_n))
-        rate = connectivity_rate(N, d, TRIALS, seed=int(c * 100))
-        rates.append(rate)
-        rows.append([f"{c:.2f}", d, f"{rate:.2f}"])
-
-    benchmark.pedantic(
-        connectivity_rate, args=(N, int(log_n), TRIALS, 0), rounds=1, iterations=1
-    )
-
-    report(
-        "E11",
-        "G(n,d) connectivity phase transition (Prop. 2.4), n=512",
-        ["c (d = c·log n)", "d", "connected rate"],
-        rows,
-        notes=(
-            "Expected shape: rate ≈ 0 well below the log n threshold, "
-            "→ 1 above it (Prop 2.4's 1 - n^{-c/4})."
-        ),
-    )
-
-    assert rates[0] < 0.5
-    assert rates[-1] == 1.0
-
-
-def test_e11_regularity_and_mixing(benchmark, report):
-    rows = []
-    n = 256
-    for c in (4, 8, 16):
-        d = int(c * np.log(n))
-        g = paper_random_graph(n, d, rng=c)
-        eps_pred = float(np.sqrt(4 * np.log(n) / d))
-        degrees = np.asarray(g.degrees)
-        eps_seen = float(np.abs(degrees - d).max() / d)
-        gap = spectral_gap(g)
-        t_mix = empirical_mixing_time(g, 1e-2)
-        bound = d**2 * np.log(n / 1e-2)  # Prop 2.5's (loose) bound
-        rows.append(
-            [
-                d,
-                f"{eps_pred:.3f}",
-                f"{eps_seen:.3f}",
-                f"{gap:.3f}",
-                t_mix,
-                f"{bound:.0f}",
-            ]
-        )
-        assert eps_seen <= 2 * eps_pred  # Prop 2.3 with whp slack
-        assert t_mix <= bound            # Prop 2.5
-
-    benchmark.pedantic(
-        lambda: empirical_mixing_time(paper_random_graph(n, 40, rng=0), 1e-2),
-        rounds=1,
-        iterations=1,
-    )
-
-    report(
-        "E11b",
-        "G(n,d) almost-regularity (Prop 2.3) and mixing (Prop 2.5), n=256",
-        ["d", "ε predicted", "ε observed", "λ₂", "T_mix(0.01)", "d²log(n/γ) bound"],
-        rows,
-        notes=(
-            "Expected shape: observed discrepancy within the predicted "
-            "sqrt(4 log n/d); mixing time far below the loose d² bound "
-            "(footnote 4 concedes the d² is an artifact of the simple proof)."
-        ),
-    )
+def test_e11_regularity_and_mixing(bench_case):
+    bench_case("e11b_regularity_mixing")

@@ -1,88 +1,10 @@
-"""E12 — Corollary 7.1: unknown spectral gap.
+"""E12 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: geometric gap-guessing (λ' → λ'^1.1) with a growability check
-finds each component after O(log log (1/λ₂)) guesses, for a total of
-``O(log log n · log log(1/λ) + log(1/λ))`` rounds — without ever being
-told λ.  Expected shape: well-connected components finish in the first
-guess; weakly connected ones need further iterations; totals stay near
-the Cor 7.1 budget.
+CLI equivalent: ``python -m repro.bench --suite full --filter e12``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro import theory
-from repro.graph import (
-    components_agree,
-    connected_components,
-    disjoint_union,
-    expander_path,
-    min_component_spectral_gap,
-    permutation_regular_graph,
-)
-
-CONFIG = repro.PipelineConfig(
-    delta=0.5, expander_degree=4, max_walk_length=1024, oversample=6,
-    broadcast_budget=3,
-)
-
-
-def build_mixed(seed: int):
-    strong = permutation_regular_graph(512, 8, rng=seed)
-    weak = expander_path(24, 32, 8, rng=seed)  # long chain: tiny gap
-    graph, _ = disjoint_union([strong, weak])
-    return graph
-
-
-def run_adaptive(seed: int):
-    graph = build_mixed(seed)
-    result = repro.mpc_connected_components_adaptive(
-        graph, config=CONFIG, rng=seed, gap_exponent=1.7
-    )
-    assert components_agree(result.labels, connected_components(graph))
-    return graph, result
-
-
-def test_e12_unknown_gap(benchmark, report):
-    seed = 71
-    graph, result = benchmark.pedantic(run_adaptive, args=(seed,), rounds=1, iterations=1)
-
-    rows = []
-    for i, it in enumerate(result.iterations, 1):
-        rows.append(
-            [
-                i,
-                f"{it.gap_guess:.4f}",
-                it.walk_length,
-                it.rounds,
-                it.finished_vertices,
-                it.active_vertices,
-            ]
-        )
-
-    true_gap = min_component_spectral_gap(graph)
-    predicted = theory.corollary71_rounds(graph.n, max(true_gap, 1e-6), delta=0.5)
-    report(
-        "E12",
-        "Adaptive pipeline with unknown gap (Corollary 7.1)",
-        ["iter", "guess λ'", "walk T", "rounds", "finished", "still active"],
-        rows,
-        notes=(
-            f"True minimum component gap: {true_gap:.5f}. Total rounds: "
-            f"{result.rounds}; Cor 7.1 shape (c=1): {predicted:.0f}. "
-            "Expected shape: the expander finishes at iteration 1; the "
-            "weak chain keeps failing its growability check until the "
-            "guess sinks below its gap (or the guard floor forces "
-            "finalization)."
-        ),
-    )
-
-    assert len(result.iterations) >= 2
-    # The strong expander must be done after the first guess.
-    assert result.iterations[0].finished_vertices >= 512
-    assert result.iterations[-1].active_vertices == 0
-    # Walk lengths grow as the guess shrinks (until the cap).
-    walk_lengths = [it.walk_length for it in result.iterations]
-    assert walk_lengths[-1] >= walk_lengths[0]
+def test_e12_unknown_gap(bench_case):
+    bench_case("e12_unknown_gap")

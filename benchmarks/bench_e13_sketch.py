@@ -1,77 +1,10 @@
-"""E13 — Proposition 8.1: the AGM sketch.
+"""E13 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: O(log³ n)-bit per-vertex messages let a single coordinator
-output all connected components w.h.p.  Expected shape: decode success
-≈ 1 across seeds and workloads; message size grows polylogarithmically
-while n grows 16x.
+CLI equivalent: ``python -m repro.bench --suite full --filter e13``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.graph import (
-    community_graph,
-    components_agree,
-    connected_components,
-    cycle_graph,
-    paper_random_graph,
-)
-from repro.sketch import AGMSketch, agm_connected_components
-
-SIZES = [64, 256, 1024]
-SEEDS_PER_CASE = 10
-
-
-def decode_success_rate(make_graph, n: int, seeds: int) -> float:
-    hits = 0
-    for seed in range(seeds):
-        g = make_graph(n, seed)
-        try:
-            labels, _ = agm_connected_components(g, rng=seed)
-        except RuntimeError:
-            continue
-        if components_agree(labels, connected_components(g)):
-            hits += 1
-    return hits / seeds
-
-
-def test_e13_sketch_success_and_size(benchmark, report):
-    workloads = {
-        "cycle": lambda n, seed: cycle_graph(n),
-        "sparse random": lambda n, seed: paper_random_graph(n, 4, rng=seed),
-        "communities": lambda n, seed: community_graph(
-            [n // 2, n // 4, n // 4], 6, rng=seed
-        )[0],
-    }
-    rows = []
-    for n in SIZES:
-        words = AGMSketch.from_graph(cycle_graph(n), rng=0).words_per_vertex()
-        for name, make in workloads.items():
-            rate = decode_success_rate(make, n, SEEDS_PER_CASE)
-            rows.append([n, name, f"{rate:.2f}", words, 8 * words])
-            assert rate >= 0.9, (n, name)
-
-    benchmark.pedantic(
-        decode_success_rate,
-        args=(workloads["sparse random"], SIZES[0], 3),
-        rounds=1,
-        iterations=1,
-    )
-
-    small_words = AGMSketch.from_graph(cycle_graph(SIZES[0]), rng=0).words_per_vertex()
-    large_words = AGMSketch.from_graph(cycle_graph(SIZES[-1]), rng=0).words_per_vertex()
-
-    report(
-        "E13",
-        "AGM sketch: decode success and message size (Prop. 8.1)",
-        ["n", "workload", "success rate", "words/vertex", "bytes/vertex"],
-        rows,
-        notes=(
-            f"Message growth: {small_words} → {large_words} words while n "
-            f"grew {SIZES[-1] // SIZES[0]}x — polylog, consistent with "
-            "O(log³ n) bits."
-        ),
-    )
-
-    assert large_words <= 4 * small_words
+def test_e13_sketch_success_and_size(bench_case):
+    bench_case("e13_sketch")

@@ -1,87 +1,10 @@
-"""E14 — Remark 1.1 ablation: quadratic vs constant-factor growth.
+"""E14 shim — the experiment lives in ``repro.bench.experiments``.
 
-The paper's central design choice: ``GrowComponents`` squares component
-sizes per phase by exploiting the entropy of fresh random-graph batches,
-where classical leader election (random mate, p = 1/2) shrinks the
-component count by only a constant factor per round.  Same input family,
-same election primitive, same round charges per phase — only the schedule
-differs.  Expected shape: phases-to-finish Θ(log log n) vs Θ(log n).
+CLI equivalent: ``python -m repro.bench --suite full --filter e14``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-from repro.baselines import random_mate_components
-from repro.core import random_graph_components
-from repro.graph import Graph, paper_random_graph_edges
-from repro.mpc import MPCEngine
-from repro.utils.rng import spawn_rngs
-
-SIZES = [2_000, 8_000, 32_000]
-GROWTH = 4
-HALF = 20
-
-
-def quadratic(n: int, seed: int) -> "tuple[int, int]":
-    rngs = spawn_rngs(seed, 2)
-    batches = [paper_random_graph_edges(n, HALF, rng) for rng in rngs]
-    engine = MPCEngine.for_delta(n * HALF * 2, 0.5)
-    result = random_graph_components(
-        n, batches, [GROWTH, GROWTH**2], rng=seed, engine=engine
-    )
-    assert np.all(result.labels == 0)  # a connected random graph
-    phases = len(result.grow.telemetry) + (1 if result.broadcast_rounds else 0)
-    return phases, engine.rounds
-
-
-def constant(n: int, seed: int) -> "tuple[int, int]":
-    rng = spawn_rngs(seed, 1)[0]
-    graph = Graph(n, paper_random_graph_edges(n, HALF * 2, rng))
-    engine = MPCEngine.for_delta(n * HALF * 2, 0.5)
-    result = random_mate_components(graph, rng=seed, engine=engine)
-    assert np.all(result.labels == 0)
-    return result.iterations, engine.rounds
-
-
-def test_e14_growth_ablation(benchmark, report):
-    seed = 81
-    rows = []
-    quad_phases = []
-    const_phases = []
-    for n in SIZES:
-        qp, qr = quadratic(n, seed)
-        cp, cr = constant(n, seed)
-        quad_phases.append(qp)
-        const_phases.append(cp)
-        rows.append(
-            [
-                n,
-                qp,
-                qr,
-                cp,
-                cr,
-                f"{np.log2(np.log2(n)):.1f}",
-                f"{np.log2(n):.1f}",
-            ]
-        )
-
-    benchmark.pedantic(quadratic, args=(SIZES[0], seed), rounds=1, iterations=1)
-
-    report(
-        "E14",
-        "Ablation: quadratic (GrowComponents) vs constant (random-mate) growth",
-        ["n", "quad phases", "quad rounds", "const phases", "const rounds",
-         "loglog n", "log n"],
-        rows,
-        notes=(
-            "Same random-graph inputs, same leader-election primitive, "
-            "same per-phase round charges. Expected shape: quadratic "
-            "finishes in ~loglog n phases at every n; constant growth "
-            "needs ~log n iterations and keeps climbing."
-        ),
-    )
-
-    assert max(quad_phases) <= 4
-    assert const_phases[-1] >= const_phases[0]
-    assert const_phases[-1] >= 3 * max(quad_phases)
+def test_e14_growth_ablation(bench_case):
+    bench_case("e14_growth_ablation")

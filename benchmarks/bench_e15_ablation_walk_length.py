@@ -1,75 +1,10 @@
-"""E15 — ablation: why Step 2 walks to the mixing time.
+"""E15 shim — the experiment lives in ``repro.bench.experiments``.
 
-The pipeline's central tuning knob is the walk length T.  The paper sets
-``T ≥ T_mix`` so each component becomes a *bona fide* random graph, buying
-Claim 6.13's O(1)-diameter contraction.  This ablation under-walks on
-purpose: with short walks the overlay is only locally random, the final
-contraction graph inherits the input's long-range structure, and the
-closing broadcast pays for it — while long walks shift cost into the
-O(log T) walk-building term.  Exactness holds at every setting (the
-broadcast runs to stabilisation); only the round *distribution* moves.
+CLI equivalent: ``python -m repro.bench --suite full --filter e15``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro.graph import components_agree, connected_components, expander_path
-from repro.mpc import MPCEngine
-
-CAPS = [4, 16, 64, 256, 1024]
-BASE = repro.PipelineConfig(delta=0.5, expander_degree=4, oversample=6)
-
-
-def run_one(cap: int, seed: int):
-    graph = expander_path(16, 48, 8, rng=seed)
-    config = BASE.with_overrides(max_walk_length=cap)
-    engine = MPCEngine(4096)
-    result = repro.mpc_connected_components(
-        graph, 1e-4, config=config, rng=seed, engine=engine
-    )
-    assert components_agree(result.labels, connected_components(graph))
-    return result
-
-
-def test_e15_walk_length_ablation(benchmark, report):
-    seed = 5
-    rows = []
-    broadcast_series = []
-    for cap in CAPS:
-        result = run_one(cap, seed)
-        broadcast_series.append(result.cc.broadcast_rounds)
-        rows.append(
-            [
-                result.walk_length,
-                result.rounds,
-                result.cc.broadcast_rounds,
-                result.verify_rounds,
-                "yes",
-            ]
-        )
-
-    benchmark.pedantic(run_one, args=(CAPS[1], seed), rounds=1, iterations=1)
-
-    report(
-        "E15",
-        "Ablation: walk length vs where the rounds go (16-chain of expanders)",
-        ["walk T", "total rounds", "step-3 broadcast", "verify fallback", "exact"],
-        rows,
-        notes=(
-            "Expected shape: under-walking (T ≪ T_mix) leaves long-range "
-            "structure in the contraction graph — the broadcast stage pays "
-            "~2x-8x more rounds; walking to the mixing time collapses it "
-            "to the Claim 6.13 constant. Exact answers at every T (the "
-            "stabilising broadcast is the honest fallback)."
-        ),
-    )
-
-    # Under-walked broadcast must cost several times the well-walked one.
-    assert broadcast_series[0] >= 3 * broadcast_series[-1]
-    # And broadcast rounds decrease (weakly) as T grows.
-    violations = sum(
-        1 for a, b in zip(broadcast_series, broadcast_series[1:]) if b > a
-    )
-    assert violations <= 1
+def test_e15_walk_length_ablation(bench_case):
+    bench_case("e15_walk_length_ablation")

@@ -1,109 +1,10 @@
-"""E16 — Section 1.3: spectral-gap vs diameter parametrisation.
+"""E16 shim — the experiment lives in ``repro.bench.experiments``.
 
-Paper claim: this paper's ``O(log log n + log(1/λ))`` and Andoni et al.'s
-``O(log D · log log n)`` are *incomparable* — ``D = O(log n/λ)`` always,
-but a dumbbell (two expanders + one bridge) has tiny gap with tiny
-diameter (diameter algorithm wins), while on well-connected graphs the
-gap algorithm's parameter is the stronger one.  Expected shape: each
-algorithm's cost tracks *its own* parameter across the instance family —
-exponentiation phases follow ``log D`` and ignore λ; pipeline walk lengths
-follow ``log(1/λ)`` and ignore D.
+CLI equivalent: ``python -m repro.bench --suite full --filter e16``.
+This pytest entry point keeps the bench runnable as a test
+(``BENCH_SUITE=smoke|full`` selects the parameter tier).
 """
 
-from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro.baselines import exponentiation_components
-from repro.graph import (
-    components_agree,
-    connected_components,
-    diameter,
-    dumbbell_graph,
-    expander_path,
-    permutation_regular_graph,
-    spectral_gap,
-)
-from repro.mpc import MPCEngine
-
-CONFIG = repro.PipelineConfig(
-    delta=0.5, expander_degree=4, max_walk_length=2048, oversample=6
-)
-
-
-def instances(seed: int) -> dict:
-    return {
-        "expander (λ big, D small)": permutation_regular_graph(384, 8, rng=seed),
-        "dumbbell (λ tiny, D small)": dumbbell_graph(192, 8, bridges=1, rng=seed),
-        "chain x8 (λ tiny, D big)": expander_path(8, 48, 8, rng=seed),
-        "chain x16 (λ tinier, D bigger)": expander_path(16, 24, 8, rng=seed),
-    }
-
-
-def run_both(graph, seed: int):
-    gap = spectral_gap(graph)
-    diam = diameter(graph, rng=seed)
-
-    engine = MPCEngine(4096)
-    exp_result = exponentiation_components(graph, engine=engine)
-    assert components_agree(exp_result.labels, connected_components(graph))
-    exp_rounds = engine.rounds
-
-    engine = MPCEngine(4096)
-    pipe_result = repro.mpc_connected_components(
-        graph, gap, config=CONFIG, rng=seed, engine=engine
-    )
-    assert components_agree(pipe_result.labels, connected_components(graph))
-    return gap, diam, exp_result.phases, exp_rounds, pipe_result
-
-
-def test_e16_gap_vs_diameter(benchmark, report):
-    seed = 19
-    rows = []
-    stats = {}
-    for name, graph in instances(seed).items():
-        gap, diam, phases, exp_rounds, pipe = run_both(graph, seed)
-        stats[name] = (gap, diam, phases, pipe.walk_length)
-        rows.append(
-            [
-                name,
-                f"{gap:.4f}",
-                diam,
-                phases,
-                exp_rounds,
-                pipe.walk_length,
-                pipe.rounds,
-            ]
-        )
-
-    benchmark.pedantic(
-        run_both, args=(instances(seed)["dumbbell (λ tiny, D small)"], seed),
-        rounds=1, iterations=1,
-    )
-
-    report(
-        "E16",
-        "Gap vs diameter parametrisation (Section 1.3 comparison with [6])",
-        ["instance", "gap λ", "diam D", "[6] phases", "[6] rounds",
-         "pipeline walk T", "pipeline rounds"],
-        rows,
-        notes=(
-            "Expected shape: exponentiation phases follow log D and are "
-            "blind to λ (dumbbell as cheap as the expander); the pipeline's "
-            "walk length follows log(1/λ) and is blind to D (the dumbbell "
-            "is its worst case despite D = O(log n)). The parametrisations "
-            "are incomparable, exactly as Section 1.3 argues."
-        ),
-    )
-
-    expander = stats["expander (λ big, D small)"]
-    dumbbell = stats["dumbbell (λ tiny, D small)"]
-    chain16 = stats["chain x16 (λ tinier, D bigger)"]
-    # [6]'s cost ignores λ: dumbbell no more expensive than the expander +1.
-    assert dumbbell[2] <= expander[2] + 1
-    # [6]'s cost follows D: the long chain needs more phases than dumbbell.
-    assert chain16[2] > dumbbell[2]
-    # The pipeline's cost follows λ: dumbbell walks far longer than the
-    # expander (up to the configured cap).
-    assert dumbbell[3] >= 3 * expander[3]
+def test_e16_gap_vs_diameter(bench_case):
+    bench_case("e16_gap_vs_diameter")

@@ -1,53 +1,47 @@
-"""Shared helpers for the experiment benches.
+"""Pytest plumbing for the experiment benches.
 
-Each bench regenerates one experiment from DESIGN.md's per-experiment
-index (E1–E14), prints a human-readable table, and writes it to
-``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference stable
-artefacts.  Timing is secondary (pytest-benchmark records it); the tables
-carry the paper-shape comparisons.
+Every ``bench_e*.py`` file is now a thin shim: the sweeps, tables, shape
+checks, and JSON artifacts all live in :mod:`repro.bench` (see
+``benchmarks/README.md``).  The ``bench_case`` fixture runs one
+registered experiment through the shared runner, prints the table, and
+persists both the text table and the ``BENCH_<name>.json`` artifact
+under ``benchmarks/results/``.
+
+Select the parameter tier with ``BENCH_SUITE=smoke|full`` (default:
+``full`` — the paper-shape sweeps these files always ran).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro import bench
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+SUITE = os.environ.get("BENCH_SUITE", "full")
 
 
-def format_table(title: str, headers: "list[str]", rows: "list[list]") -> str:
-    str_rows = [[str(c) for c in row] for row in rows]
-    widths = [
-        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
-        for i, h in enumerate(headers)
-    ]
-    lines = [title, "=" * len(title)]
-    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
-    lines.append("-+-".join("-" * w for w in widths))
-    for row in str_rows:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture
-def report():
-    """``report(experiment_id, title, headers, rows, notes=...)`` —
-    print and persist one experiment table."""
+def bench_case():
+    """``bench_case(name)`` — run one registered benchmark and persist it."""
 
-    def _report(
-        experiment_id: str,
-        title: str,
-        headers: "list[str]",
-        rows: "list[list]",
-        notes: str = "",
-    ) -> str:
-        text = format_table(f"[{experiment_id}] {title}", headers, rows)
-        if notes:
-            text += f"\n\n{notes}"
+    def _run(name: str) -> bench.CaseResult:
+        result = bench.run_case(name, suite=SUITE)
+        text = bench.render_case(result)
         RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+        bench.write_case_json(result, RESULTS_DIR)
         print("\n" + text)
-        return text
+        return result
 
-    return _report
+    return _run

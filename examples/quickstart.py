@@ -10,8 +10,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 import repro
 from repro.graph import components_agree, connected_components
 

@@ -1,64 +1,37 @@
 """The headline experiment as a script: MPC rounds vs. graph size.
 
-Sweeps n over well-connected workloads and prints the round counts of the
+A thin front-end over the registered E1 benchmark (``repro.bench``):
+sweeps n over well-connected workloads and prints the round counts of the
 Theorem 4 pipeline against the Θ(log n) classical algorithms, plus the
-paper's predicted shapes — an ASCII version of the E1 bench.
+paper's predicted shapes.  The sweep itself — workloads, sizes, table,
+JSON artifact schema — lives in ``repro.bench.experiments.e01_rounds_vs_n``,
+so this script can never drift from what CI measures.
 
 Run:  python examples/round_complexity_sweep.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-import repro
-from repro import theory
-from repro.baselines import pointer_jumping_propagation, random_mate_components
-from repro.graph import components_agree, connected_components
-from repro.mpc import MPCEngine
-
-
-def run_pipeline(graph, seed):
-    config = repro.PipelineConfig(
-        expander_degree=4, max_walk_length=160, oversample=6
-    )
-    result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=0.25, config=config, rng=seed
-    )
-    assert components_agree(result.labels, connected_components(graph))
-    return result.rounds
+from repro import bench
 
 
 def main(scale: str = "default") -> dict:
-    sizes = [128, 256, 512] if scale == "small" else [256, 1024, 4096, 16384]
-    seed = 3
+    suite = "smoke" if scale == "small" else "full"
+    result = bench.run_case("e01_rounds_vs_n", suite=suite)
+    print(bench.render_case(result))
 
-    header = (f"{'n':>7} | {'pipeline':>9} | {'hash-to-min':>11} | "
-              f"{'random-mate':>11} | {'Thm1 shape':>10} | {'log n shape':>11}")
-    print(header)
-    print("-" * len(header))
-
-    table = {}
-    for n in sizes:
-        graph = repro.graph.permutation_regular_graph(n, 6, rng=seed)
-        ours = run_pipeline(graph, seed)
-
-        engine = MPCEngine(max(16, int(n**0.25)))
-        pointer_jumping_propagation(graph, engine=engine)
-        htm = engine.rounds
-
-        engine = MPCEngine(max(16, int(n**0.25)))
-        random_mate_components(graph, rng=seed, engine=engine)
-        rm = engine.rounds
-
-        predicted = theory.theorem1_rounds(n, 0.25, delta=0.25)
-        log_shape = theory.classical_pram_rounds(n)
-        print(f"{n:>7} | {ours:>9} | {htm:>11} | {rm:>11} | "
-              f"{predicted:>10.1f} | {log_shape:>11.1f}")
-        table[n] = {"pipeline": ours, "hash_to_min": htm, "random_mate": rm}
+    table = {
+        record["n"]: {
+            "pipeline": record["pipeline_rounds"],
+            "hash_to_min": record["hash_to_min_rounds"],
+            "random_mate": record["random_mate_rounds"],
+        }
+        for record in result.records
+    }
 
     print("\nShape check: the pipeline column should be nearly flat "
           "(doubly logarithmic), the baselines should climb with log n.")
+    sizes = sorted(table)
     first, last = sizes[0], sizes[-1]
     growth_ours = table[last]["pipeline"] - table[first]["pipeline"]
     growth_base = table[last]["random_mate"] - table[first]["random_mate"]

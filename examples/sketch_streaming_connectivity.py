@@ -1,57 +1,38 @@
 """Theorem 2 in action: connectivity with mildly sublinear memory.
 
 Demonstrates ``SublinearConn`` on graphs with *no* spectral-gap assumption
-(paths, grids — the worst cases for walk-based merging), sweeping the
-machine memory ``s`` to show the ``O(log log n + log(n/s))`` round trade,
-and inspects the AGM sketch that carries the final contraction: every
-vertex of the contracted graph ships ``O(log³ n)`` bits to one coordinator
-which decodes all components locally.
+(paths, grids — the worst cases for walk-based merging).  The memory
+sweep itself is the registered E3 benchmark (``repro.bench``), so this
+script shows exactly the numbers CI tracks; it then inspects the AGM
+sketch that carries the final contraction: every vertex of the contracted
+graph ships ``O(log³ n)`` bits to one coordinator which decodes all
+components locally.
 
 Run:  python examples/sketch_streaming_connectivity.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 import repro
-from repro import theory
-from repro.core import sublinear_connectivity
-from repro.graph import components_agree, connected_components
+from repro import bench
+from repro.graph import connected_components
 from repro.sketch import AGMSketch, agm_connected_components
 
 
 def main(scale: str = "default") -> dict:
-    n = 256 if scale == "small" else 1024
+    suite = "smoke" if scale == "small" else "full"
     seed = 5
 
-    workloads = {
-        "path": repro.graph.path_graph(n),
-        "grid": repro.graph.grid_graph(int(np.sqrt(n)), int(np.sqrt(n))),
-        "2 communities": repro.graph.community_graph([n // 2, n // 2], 6, rng=seed)[0],
+    result = bench.run_case("e03_sublinear_memory", suite=suite)
+    print(bench.render_case(result))
+    results = {
+        (record["workload"], record["memory"]): record["sublinear_rounds"]
+        for record in result.records
     }
 
-    memories = [n // 32, n // 8, n // 2]
-    print(f"{'workload':>14} | {'s':>5} | {'d':>4} | {'walk t':>7} | "
-          f"{'|V(H)|':>6} | {'rounds':>6} | {'Thm2 shape':>10}")
-    print("-" * 72)
-
-    results = {}
-    for name, graph in workloads.items():
-        reference = connected_components(graph)
-        for s in memories:
-            result = sublinear_connectivity(
-                graph, machine_memory=s, rng=seed, walk_cap=4000
-            )
-            assert components_agree(result.labels, reference), (name, s)
-            shape = theory.theorem2_rounds(graph.n, s)
-            print(f"{name:>14} | {s:>5} | {result.degree_target:>4} | "
-                  f"{result.walk_length:>7} | {result.contracted_vertices:>6} | "
-                  f"{result.rounds:>6} | {shape:>10.1f}")
-            results[(name, s)] = result.rounds
-
+    n = result.params["n"]
     print("\n== Inside the sketch (Prop. 8.1) ==")
-    g = workloads["2 communities"]
+    g = repro.graph.community_graph([n // 2, n // 2], 6, rng=seed)[0]
     sketch = AGMSketch.from_graph(g, rng=seed)
     labels, _ = agm_connected_components(g, rng=seed, sketch=sketch)
     words = sketch.words_per_vertex()

@@ -12,8 +12,6 @@ Run:  python examples/social_network_communities.py
 
 from __future__ import annotations
 
-import numpy as np
-
 import repro
 from repro.baselines import (
     min_label_propagation,

@@ -1,0 +1,73 @@
+"""repro.bench — the unified benchmark subsystem.
+
+One registry (:func:`register_benchmark`), one workload abstraction
+(:class:`Workload`), one runner (:func:`run_case`), one reporter
+(tables + ``BENCH_<name>.json`` artifacts).  The sixteen experiments of
+the paper's evaluation live in :mod:`repro.bench.experiments`; the
+pytest shims under ``benchmarks/`` and the CI smoke job both execute
+them through this package, so there is exactly one copy of every sweep.
+
+Run ``python -m repro.bench --help`` for the CLI.
+"""
+
+from repro.bench.registry import (
+    BenchmarkSpec,
+    get_benchmark,
+    iter_benchmarks,
+    load_experiments,
+    register_benchmark,
+    registered_names,
+    unregister_benchmark,
+)
+from repro.bench.report import (
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    artifact_path,
+    case_to_json,
+    compare_bench_files,
+    compare_cases,
+    format_comparison,
+    format_table,
+    load_case_json,
+    render_case,
+    validate_case_json,
+    write_case_json,
+)
+from repro.bench.runner import (
+    BenchCheckError,
+    BenchContext,
+    CaseResult,
+    Timing,
+    run_case,
+)
+from repro.bench.workloads import Workload, family_names, register_family
+
+__all__ = [
+    "BenchCheckError",
+    "BenchContext",
+    "BenchmarkSpec",
+    "CaseResult",
+    "REQUIRED_KEYS",
+    "SCHEMA_VERSION",
+    "Timing",
+    "Workload",
+    "artifact_path",
+    "case_to_json",
+    "compare_bench_files",
+    "compare_cases",
+    "family_names",
+    "format_comparison",
+    "format_table",
+    "get_benchmark",
+    "iter_benchmarks",
+    "load_case_json",
+    "load_experiments",
+    "register_benchmark",
+    "register_family",
+    "registered_names",
+    "render_case",
+    "run_case",
+    "unregister_benchmark",
+    "validate_case_json",
+    "write_case_json",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.bench``."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""``python -m repro.bench`` — run benchmark suites, emit JSON artifacts.
+
+Examples::
+
+    python -m repro.bench --suite smoke --json-dir bench-artifacts
+    python -m repro.bench --suite full --filter e07
+    python -m repro.bench --list
+    python -m repro.bench --compare old/BENCH_e01_rounds_vs_n.json \
+                                    new/BENCH_e01_rounds_vs_n.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+
+from repro.bench.registry import iter_benchmarks
+from repro.bench.report import (
+    compare_bench_files,
+    format_comparison,
+    render_case,
+    write_case_json,
+)
+from repro.bench.runner import run_case
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the registered paper-reproduction benchmarks.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="parameter tier: 'smoke' finishes in under a minute for CI; "
+        "'full' runs the paper-shape sweeps (default: smoke)",
+    )
+    parser.add_argument(
+        "--filter",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="only run benchmarks whose name contains SUBSTR (repeatable)",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_<name>.json artifacts (default: .)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing JSON artifacts"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override base seed")
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="kernel warmup iterations"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None, help="kernel timed iterations"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered benchmarks and exit"
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="diff two BENCH_*.json artifacts and exit "
+        "(exit 1 on counter regressions)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.compare:
+        try:
+            diff = compare_bench_files(args.compare[0], args.compare[1])
+        except (OSError, ValueError) as exc:
+            print(f"cannot compare: {exc}", file=sys.stderr)
+            return 2
+        print(format_comparison(diff))
+        return 0 if diff["ok"] else 1
+
+    specs = iter_benchmarks(args.filter)
+    if not specs:
+        print(f"no benchmarks match filters {args.filter!r}", file=sys.stderr)
+        return 2
+
+    if args.list:
+        for spec in specs:
+            print(f"{spec.name:28s} {spec.title}")
+        return 0
+
+    failures = []
+    started = time.perf_counter()
+    for spec in specs:
+        print(f"=== {spec.name} [{args.suite}] ===", flush=True)
+        try:
+            result = run_case(
+                spec.name,
+                suite=args.suite,
+                seed=args.seed,
+                warmup=args.warmup,
+                repeat=args.repeat,
+            )
+        except Exception as exc:  # noqa: BLE001 - report every failing case
+            failures.append((spec.name, exc))
+            traceback.print_exc()
+            continue
+        print(render_case(result))
+        if not args.no_json:
+            path = write_case_json(result, args.json_dir)
+            print(f"wrote {path}")
+        print(flush=True)
+
+    elapsed = time.perf_counter() - started
+    print(
+        f"ran {len(specs) - len(failures)}/{len(specs)} benchmarks "
+        f"[{args.suite}] in {elapsed:.1f}s"
+    )
+    if failures:
+        for name, exc in failures:
+            print(f"FAILED {name}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

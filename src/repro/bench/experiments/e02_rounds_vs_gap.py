@@ -1,0 +1,93 @@
+"""E2 — Theorem 1/4: rounds grow as log(1/λ).
+
+Paper claim: the pipeline costs ``O(log log n + log(1/λ))`` rounds.  We
+hold n fixed and sweep the spectral gap downward by thinning the bridge
+between two expanders (a dumbbell: gap ∝ bridge count), and check that
+the walk length tracks ``1/λ`` and the round count tracks ``log(1/λ)``.
+The engine's machine memory is held fixed across the sweep so
+per-primitive costs don't drift with anything but the walk structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import theory
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import Workload
+from repro.graph import components_agree, connected_components, spectral_gap
+from repro.mpc import MPCEngine
+
+DEGREE = 8
+
+
+def _run_one(workload: Workload, seed: int, max_walk_length: int,
+             engine_memory: int):
+    graph = workload.build(seed)
+    gap = spectral_gap(graph)
+    config = repro.PipelineConfig(
+        delta=0.5, expander_degree=4, max_walk_length=max_walk_length,
+        oversample=6,
+    )
+    engine = MPCEngine(engine_memory)
+    result = repro.mpc_connected_components(
+        graph, spectral_gap_bound=gap, config=config, rng=seed, engine=engine
+    )
+    assert components_agree(result.labels, connected_components(graph))
+    return gap, result
+
+
+@register_benchmark(
+    "e02_rounds_vs_gap",
+    title="MPC rounds vs spectral gap (dumbbell bridge sweep; Theorem 1)",
+    headers=["bridges", "gap λ", "log2(1/λ)", "walk T", "rounds", "Thm1 shape"],
+    smoke={"half": 96, "bridges": [192, 12], "max_walk_length": 4096,
+           "engine_memory": 2048, "seed": 11},
+    full={"half": 192, "bridges": [384, 96, 24, 6], "max_walk_length": 8192,
+          "engine_memory": 4096, "seed": 11},
+    notes=(
+        "Expected shape: each quartering of λ doubles the walk length T "
+        "and adds ~O(1/δ) rounds (one extra pointer-doubling level); n is "
+        "fixed so the log log n term is constant."
+    ),
+    tags=("pipeline",),
+)
+def e02_rounds_vs_gap(ctx):
+    half = ctx.params["half"]
+    gaps, walks, rounds_series = [], [], []
+    for bridges in ctx.params["bridges"]:
+        workload = Workload("dumbbell", 2 * half,
+                            {"degree": DEGREE, "bridges": bridges})
+        if bridges == ctx.params["bridges"][-1]:
+            gap, result = ctx.timeit(
+                "pipeline", _run_one, workload, ctx.seed,
+                ctx.params["max_walk_length"], ctx.params["engine_memory"],
+            )
+        else:
+            gap, result = _run_one(
+                workload, ctx.seed, ctx.params["max_walk_length"],
+                ctx.params["engine_memory"],
+            )
+        gaps.append(gap)
+        walks.append(result.walk_length)
+        rounds_series.append(result.rounds)
+        ctx.record(
+            workload.label,
+            row=[bridges, f"{gap:.5f}", f"{np.log2(1 / gap):.1f}",
+                 result.walk_length, result.rounds,
+                 f"{theory.theorem1_rounds(2 * half, gap, delta=0.5):.1f}"],
+            bridges=bridges,
+            gap=float(gap),
+            walk_length=result.walk_length,
+            pipeline_rounds=result.rounds,
+            pipeline_engine=ctx.account(result.engine),
+        )
+
+    ctx.check("gap-decreases",
+              all(b < a for a, b in zip(gaps, gaps[1:])), str(gaps))
+    ctx.check("walks-nondecreasing",
+              all(b >= a for a, b in zip(walks, walks[1:])), str(walks))
+    ctx.check("walks-grow", walks[-1] > walks[0], str(walks))
+    ctx.check("rounds-grow", rounds_series[-1] > rounds_series[0],
+              str(rounds_series))

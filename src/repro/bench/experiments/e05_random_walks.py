@@ -1,0 +1,99 @@
+"""E5 — Theorem 3 / Lemma 5.3: the layered-graph walk structure.
+
+Paper claims: (i) walks of length t for *all* vertices cost O(log t)
+rounds (pointer doubling over the sampled layered graph); (ii) each
+distinguished start's path survives the disjointness test with
+probability ≥ 1/2, so Θ(log n) parallel repetitions give every vertex an
+independent walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import Workload
+from repro.core import independent_random_walks, simple_random_walk
+from repro.mpc import MPCEngine
+
+DEGREE = 4
+
+
+def _rounds_for_length(workload, t: int, seed: int):
+    graph = workload.build(seed)
+    engine = MPCEngine.for_delta(workload.n * t * t, 0.5)
+    run = simple_random_walk(graph, t, rng=seed, engine=engine)
+    return engine, float(run.independent.mean())
+
+
+@register_benchmark(
+    "e05_walk_rounds",
+    title="SimpleRandomWalk: rounds vs walk length + path survival (Thm 3)",
+    headers=["walk t", "log2 t", "MPC rounds", "survival rate"],
+    smoke={"n": 64, "lengths": [8, 32, 128], "seed": 29},
+    full={"n": 128, "lengths": [8, 32, 128, 512], "seed": 29},
+    notes=(
+        "Expected shape: rounds grow with log t (pointer doubling), not "
+        "t; survival ≥ 1/2 at every length (Lemma 5.3), so Θ(log n) "
+        "parallel runs suffice for full independence."
+    ),
+    tags=("walks",),
+)
+def e05_walk_rounds(ctx):
+    workload = Workload("permutation_regular", ctx.params["n"],
+                        {"degree": DEGREE})
+    rounds_series = []
+    for t in ctx.params["lengths"]:
+        if t == ctx.params["lengths"][0]:
+            engine, survival = ctx.timeit(
+                "walk", _rounds_for_length, workload, t, ctx.seed
+            )
+        else:
+            engine, survival = _rounds_for_length(workload, t, ctx.seed)
+        rounds_series.append(engine.rounds)
+        ctx.record(
+            f"{workload.label},t={t}",
+            row=[t, int(np.log2(t)), engine.rounds, f"{survival:.3f}"],
+            walk_length=t,
+            walk_rounds=engine.rounds,
+            survival=float(survival),
+            engine=ctx.account(engine),
+        )
+        ctx.check(f"survival-t{t}", survival >= 0.5,
+                  f"Lemma 5.3: {survival:.3f}")
+
+    # Rounds grow ~linearly in log t: each step of the sweep adds a
+    # bounded number of rounds, far sublinear in t itself.
+    deltas = [b - a for a, b in zip(rounds_series, rounds_series[1:])]
+    ctx.check("rounds-deltas-bounded", max(deltas) <= 16, str(rounds_series))
+    ctx.check("rounds-sublinear",
+              rounds_series[-1] < rounds_series[0] * 8, str(rounds_series))
+
+
+@register_benchmark(
+    "e05b_walk_independence",
+    title="Independent walks for every vertex (Theorem 3 wrapper)",
+    headers=["n", "walk t", "all vertices served"],
+    smoke={"n": 64, "walk_length": 8, "max_runs": 24, "seed": 31},
+    full={"n": 128, "walk_length": 16, "max_runs": 24, "seed": 31},
+    notes="All vertices obtain independent walks within the Θ(log n) budget.",
+    tags=("walks",),
+)
+def e05b_walk_independence(ctx):
+    workload = Workload("permutation_regular", ctx.params["n"],
+                        {"degree": DEGREE})
+    graph = workload.build(ctx.seed)
+    t = ctx.params["walk_length"]
+    targets = ctx.timeit(
+        "independent-walks", independent_random_walks, graph, t,
+        rng=ctx.seed, max_runs=ctx.params["max_runs"],
+    )
+    served = bool(np.all(targets >= 0))
+    ctx.record(
+        workload.label,
+        row=[workload.n, t, "yes" if served else "NO"],
+        n=workload.n,
+        walk_length=t,
+        all_served=served,
+    )
+    ctx.check("all-vertices-served", served)

@@ -1,0 +1,103 @@
+"""E6 — Lemma 5.1: the randomization step's output distribution.
+
+Paper claims: after walks of mixing length, every component becomes (TV-
+close to) a sample of ``G(n_i, Θ(log n))`` on its own vertex set — walk
+targets near-uniform within the component, never crossing components, and
+the resulting graph connected per component w.h.p. (Prop. 2.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.core import randomize_components
+from repro.graph import (
+    components_agree,
+    connected_components,
+    disjoint_union,
+    permutation_regular_graph,
+)
+
+DEGREE = 6
+
+
+def _build(sizes, seed: int):
+    parts = [
+        permutation_regular_graph(s, DEGREE, rng=seed + i)
+        for i, s in enumerate(sizes)
+    ]
+    return disjoint_union(parts)
+
+
+def _run_one(sizes, walk_length: int, seed: int):
+    graph, offsets = _build(sizes, seed)
+    result = randomize_components(
+        graph, walk_length, batches=2, batch_half_degree=8, rng=seed
+    )
+    return graph, offsets, result
+
+
+@register_benchmark(
+    "e06_randomization",
+    title="Randomization (Lemma 5.1): uniformity, containment, connectivity",
+    headers=["component", "n_i", "targets", "TV to uniform"],
+    smoke={"sizes": [48, 96], "walk_length": 64, "num_seeds": 3,
+           "tv_limit": 0.2, "seed": 40},
+    full={"sizes": [48, 96], "walk_length": 64, "num_seeds": 10,
+          "tv_limit": 0.2, "seed": 40},
+    tags=("randomize",),
+)
+def e06_randomization(ctx):
+    sizes = ctx.params["sizes"]
+    walk_length = ctx.params["walk_length"]
+    seeds = list(range(ctx.seed, ctx.seed + ctx.params["num_seeds"]))
+
+    connected_successes = 0
+    crossing_edges = 0
+    for seed in seeds:
+        if seed == seeds[0]:
+            graph, offsets, result = ctx.timeit(
+                "randomize", _run_one, sizes, walk_length, seed
+            )
+        else:
+            graph, offsets, result = _run_one(sizes, walk_length, seed)
+        truth = connected_components(graph)
+        if components_agree(connected_components(result.graph), truth):
+            connected_successes += 1
+        for batch in result.batches:
+            crossing_edges += int(
+                np.sum(truth[batch[:, 0]] != truth[batch[:, 1]])
+            )
+
+    # Distributional detail on one held-out seed: per-component uniformity.
+    graph, offsets, result = _run_one(sizes, walk_length, ctx.seed + 59)
+    all_targets = np.concatenate([b[:, 1] for b in result.batches])
+    all_sources = np.concatenate([b[:, 0] for b in result.batches])
+    for comp, (lo, hi) in enumerate(zip(offsets[:-1], offsets[1:])):
+        in_comp = (all_sources >= lo) & (all_sources < hi)
+        targets = all_targets[in_comp]
+        counts = np.bincount(targets - lo, minlength=hi - lo)
+        freq = counts / counts.sum()
+        tv = 0.5 * np.abs(freq - 1.0 / (hi - lo)).sum()
+        ctx.record(
+            f"component-{comp}",
+            row=[f"component {comp}", int(hi - lo), int(counts.sum()),
+                 f"{tv:.4f}"],
+            component=comp,
+            size=int(hi - lo),
+            targets=int(counts.sum()),
+            tv_to_uniform=float(tv),
+        )
+        ctx.check(f"component-{comp}-tv", tv < ctx.params["tv_limit"],
+                  f"{tv:.4f}")
+
+    ctx.note(
+        f"Across {len(seeds)} seeds: components preserved+connected in "
+        f"{connected_successes}/{len(seeds)} runs; cross-component walk "
+        f"edges: {crossing_edges} (must be 0 — walks cannot escape)."
+    )
+    ctx.check("no-crossing-edges", crossing_edges == 0, str(crossing_edges))
+    ctx.check("connected-per-component",
+              connected_successes >= len(seeds) - 1,
+              f"{connected_successes}/{len(seeds)}")

@@ -1,0 +1,123 @@
+"""E7 — Lemmas 6.4/6.7: quadratic component growth.
+
+Paper claims: phase ``i`` of ``GrowComponents`` on fresh ``G(n, Δ·s)``
+batches produces components of size ``J(1±ε)Δ_i/ΔK`` with the contraction
+graph ``J(1±ε)Δ_{i+1}·sK``-almost-regular — sizes square each phase
+(``Δ_i = Δ^{2^{i-1}}``), against the constant factor of classical leader
+election.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Interval
+from repro.bench.registry import register_benchmark
+from repro.core import grow_components, leader_election
+from repro.graph import paper_random_graph, paper_random_graph_edges
+from repro.utils.rng import spawn_rngs
+
+GROWTH = 4
+OVERSAMPLE = 10
+PHASES = 2
+
+
+def _run_grow(n: int, seed: int):
+    rngs = spawn_rngs(seed, PHASES)
+    half = GROWTH * OVERSAMPLE // 2
+    batches = [paper_random_graph_edges(n, half, rng) for rng in rngs]
+    schedule = [GROWTH ** (2 ** (i - 1)) for i in range(1, PHASES + 1)]
+    return grow_components(n, batches, schedule, rng=seed)
+
+
+@register_benchmark(
+    "e07_quadratic_growth",
+    title="GrowComponents: per-phase growth (Lemma 6.7; Δ_i = Δ^{2^{i-1}})",
+    headers=["phase", "Δ_i", "p_i", "comps before", "comps after",
+             "mean size", "target Δ^{2^i-1}", "in J(1±.5)K",
+             "contraction deg", "unmatched"],
+    smoke={"n": 8_000, "seed": 51},
+    full={"n": 20_000, "seed": 51},
+    notes=(
+        "Expected shape: mean component size ≈ 4 after phase 1 and ≈ 64 "
+        "after phase 2 (squared growth); contraction degree multiplies by "
+        "≈ Δ between phases (Claims 6.9/6.10)."
+    ),
+    tags=("grow",),
+)
+def e07_quadratic_growth(ctx):
+    result = ctx.timeit("grow", _run_grow, ctx.params["n"], ctx.seed)
+
+    for t in result.telemetry:
+        target_size = GROWTH ** (2**t.phase - 1)
+        size_interval = Interval.one_pm(0.5) * target_size
+        ctx.record(
+            f"phase-{t.phase}",
+            row=[t.phase, t.growth_target, f"{t.leader_prob:.4f}",
+                 t.components_before, t.components_after,
+                 f"{t.mean_component_size:.1f}", target_size,
+                 "yes" if size_interval.contains(t.mean_component_size)
+                 else "NO",
+                 f"{t.mean_contraction_degree:.1f}", t.unmatched],
+            phase=t.phase,
+            growth_target=t.growth_target,
+            components_before=t.components_before,
+            components_after=t.components_after,
+            mean_component_size=float(t.mean_component_size),
+            mean_contraction_degree=float(t.mean_contraction_degree),
+            unmatched=t.unmatched,
+        )
+
+    t1, t2 = result.telemetry
+    ctx.check("phase1-size",
+              Interval.one_pm(0.5).scale(GROWTH).contains(
+                  t1.mean_component_size),
+              f"{t1.mean_component_size:.1f}")
+    ctx.check("phase2-size",
+              Interval.one_pm(0.6).scale(GROWTH**3).contains(
+                  t2.mean_component_size),
+              f"{t2.mean_component_size:.1f}")
+    # Degree roughly squares (ratio ≈ Δ within 2x slack).
+    ratio = t2.mean_contraction_degree / t1.mean_contraction_degree
+    ctx.check("degree-squares", GROWTH / 2 <= ratio <= GROWTH * 2,
+              f"ratio {ratio:.2f}")
+
+
+@register_benchmark(
+    "e07b_equipartition",
+    title="LeaderElection equipartition (Lemma 6.4)",
+    headers=["n", "degree d·s", "p=1/d", "mean |S_i|", "frac in J(1±0.4)dK",
+             "matched"],
+    smoke={"n": 2_000, "d": 25, "s": 30, "inside_floor": 0.80, "seed": 53},
+    full={"n": 6_000, "d": 25, "s": 60, "inside_floor": 0.85, "seed": 53},
+    notes="Lemma 6.4 head-on: star sizes concentrate in J(1±3ε)dK.",
+    tags=("grow",),
+)
+def e07b_equipartition(ctx):
+    n, d, s = ctx.params["n"], ctx.params["d"], ctx.params["s"]
+
+    def _run():
+        rng = np.random.default_rng(ctx.seed)
+        g = paper_random_graph(n, d * s, rng=rng)
+        edges = g.simplify().edges
+        return leader_election(n, edges, 1.0 / d, rng=rng)
+
+    result = ctx.timeit("leader-election", _run)
+    sizes = result.component_sizes()
+    interval = Interval.one_pm(0.4) * d
+    inside = float(np.mean([interval.low <= x <= interval.high
+                            for x in sizes]))
+    matched = float(np.mean(result.leader_of >= 0))
+    ctx.record(
+        f"n={n},d={d},s={s}",
+        row=[n, d * s, f"{1 / d:.3f}", f"{sizes.mean():.1f}",
+             f"{inside:.3f}", f"{matched:.4f}"],
+        n=n,
+        degree=d * s,
+        mean_star_size=float(sizes.mean()),
+        inside_fraction=inside,
+        matched_fraction=matched,
+    )
+    ctx.check("matched", matched > 0.99, f"{matched:.4f}")
+    ctx.check("equipartition", inside > ctx.params["inside_floor"],
+              f"{inside:.3f}")

@@ -1,0 +1,77 @@
+"""E8 — Claim 6.13: the final contraction graph has O(1) diameter.
+
+Paper claim: after the F growth phases, the contracted graph (components
+of size n^{Ω(1)} over the union of random batches) has constant diameter,
+so the closing broadcast costs O(1) rounds.  Expected shape: both the
+diameter and the broadcast round count stay flat as n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.core import random_graph_components
+from repro.graph import (
+    Graph,
+    component_count,
+    diameter,
+    paper_random_graph_edges,
+)
+from repro.utils.rng import spawn_rngs
+
+GROWTH = 4
+HALF = 20  # Δ·s/2
+
+
+def _run_one(n: int, seed: int):
+    rngs = spawn_rngs(seed, 2)
+    batches = [paper_random_graph_edges(n, HALF, rng) for rng in rngs]
+    schedule = [GROWTH, GROWTH**2]
+    result = random_graph_components(n, batches, schedule, rng=seed)
+
+    # Rebuild the final contraction graph to measure its diameter.
+    grow_labels = result.grow.labels
+    union = np.concatenate(batches, axis=0)
+    contracted = Graph(int(grow_labels.max()) + 1, grow_labels[union]).simplify()
+    diam = (
+        diameter(contracted, rng=seed)
+        if component_count(contracted) == 1
+        else -1
+    )
+    return diam, result.broadcast_rounds, contracted.n
+
+
+@register_benchmark(
+    "e08_contraction_diameter",
+    title="Final contraction graph diameter (Claim 6.13) and broadcast rounds",
+    headers=["n", "|V(H_F)|", "diameter", "broadcast rounds"],
+    smoke={"sizes": [2_000, 8_000], "seed": 61},
+    full={"sizes": [2_000, 8_000, 32_000], "seed": 61},
+    notes=(
+        "Expected shape: diameter stays O(1) (the contracted graph is a "
+        "dense random graph), so the Claim 6.14 broadcast is O(1) rounds "
+        "at every n."
+    ),
+    tags=("grow",),
+)
+def e08_contraction_diameter(ctx):
+    diameters = []
+    for n in ctx.params["sizes"]:
+        if n == ctx.params["sizes"][0]:
+            diam, broadcast_rounds, contracted_n = ctx.timeit(
+                "contract", _run_one, n, ctx.seed
+            )
+        else:
+            diam, broadcast_rounds, contracted_n = _run_one(n, ctx.seed)
+        diameters.append(diam)
+        ctx.record(
+            f"n={n}",
+            row=[n, contracted_n, diam, broadcast_rounds],
+            n=n,
+            contracted_vertices=contracted_n,
+            diameter=diam,
+            broadcast_rounds=broadcast_rounds,
+        )
+    ctx.check("diameter-constant", all(0 <= d <= 4 for d in diameters),
+              str(diameters))

@@ -1,0 +1,78 @@
+"""E9 — Theorem 5 / Lemma 9.3: the Ω(n / log n) query lower bound.
+
+Paper claim: any decision tree for ExpanderConn needs Ω(n/log n) edge
+queries — the adversary keeps ≥ 1 hard-family member alive until
+``k / max-multiplicity`` queries have been spent.  We play probers
+against the adversary across a range of n; every one is forced past the
+counting bound, and the bound itself grows like n / log n.
+"""
+
+from __future__ import annotations
+
+from repro import theory
+from repro.bench.registry import register_benchmark
+from repro.lower_bound import (
+    AdversaryGame,
+    build_hard_family,
+    family_edge_strategy,
+    greedy_multiplicity_strategy,
+    play_until_resolved,
+)
+
+DEGREE = 6
+
+
+def _resolve_with(family, strategy):
+    game = AdversaryGame.fresh(family)
+    return play_until_resolved(game, strategy)
+
+
+@register_benchmark(
+    "e09_query_lower_bound",
+    title="ExpanderConn query complexity vs adversary (Lemma 9.3)",
+    headers=["n", "family k", "max mult", "k/mult floor", "greedy queries",
+             "edge-prober queries", "Ω(n/log n) shape"],
+    smoke={"sizes": [128, 256], "seed": 0},
+    full={"sizes": [128, 256, 512, 1024], "seed": 0},
+    notes=(
+        "Expected shape: every strategy's query count sits on or above "
+        "the k/multiplicity floor, which grows ~ n/log n; Theorem 5 "
+        "converts this to Ω(log_s n) MPC rounds via [53]."
+    ),
+    tags=("lower-bound",),
+)
+def e09_query_lower_bound(ctx):
+    bounds = []
+    for n in ctx.params["sizes"]:
+        family = build_hard_family(n, DEGREE, rng=ctx.seed + n)
+        bound = family.query_lower_bound()
+        bounds.append(bound)
+        if n == ctx.params["sizes"][0]:
+            greedy = ctx.timeit(
+                "adversary", _resolve_with, family,
+                greedy_multiplicity_strategy(),
+            )
+        else:
+            greedy = _resolve_with(family, greedy_multiplicity_strategy())
+        edges = _resolve_with(family, family_edge_strategy(ctx.seed + n + 1))
+        ctx.record(
+            f"n={n}",
+            row=[n, family.size, family.max_multiplicity, bound,
+                 greedy["queries"], edges["queries"],
+                 f"{theory.lower_bound_queries(n, c=family.size / n):.0f}"],
+            n=n,
+            family_size=family.size,
+            max_multiplicity=family.max_multiplicity,
+            query_floor=bound,
+            greedy_queries=greedy["queries"],
+            edge_prober_queries=edges["queries"],
+        )
+        ctx.check(f"greedy-above-floor-n{n}", greedy["queries"] >= bound,
+                  f"{greedy['queries']} vs {bound}")
+        ctx.check(f"edges-above-floor-n{n}", edges["queries"] >= bound,
+                  f"{edges['queries']} vs {bound}")
+
+    # The floor must grow superlinearly in n/log n terms.
+    growth = ctx.params["sizes"][-1] // ctx.params["sizes"][0]
+    ctx.check("floor-grows", bounds[-1] >= (growth // 2) * bounds[0],
+              f"{bounds[0]} -> {bounds[-1]} over {growth}x n")

@@ -1,0 +1,76 @@
+"""E10 — Proposition B.1: balls-and-bins concentration.
+
+Paper claim: throwing N ≤ εB balls into B near-uniform bins leaves
+``J(1±2ε)NK`` non-empty bins except with probability ``exp(-ε²N/2)``.
+This is the engine behind Claim 6.9 (out-edges of a contracted component
+hit almost-distinct components).  The table compares empirical deviation
+frequencies with the bound at several (N, ε).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    nonempty_bins_interval,
+    prop_b1_failure_bound,
+    throw_balls,
+)
+from repro.bench.registry import register_benchmark
+
+
+def _deviation_rate(balls: int, eps: float, trials: int, seed: int):
+    rng = np.random.default_rng(seed)
+    bins = int(balls / eps)
+    interval = nonempty_bins_interval(balls, eps)
+    failures = 0
+    total_ratio = 0.0
+    for _ in range(trials):
+        result = throw_balls(balls, bins, eps=eps / 2, rng=rng)
+        total_ratio += result.ratio
+        if not interval.contains(result.nonempty):
+            failures += 1
+    return failures / trials, total_ratio / trials
+
+
+@register_benchmark(
+    "e10_balls_bins",
+    title="Balls and bins: non-empty bins in J(1±2ε)NK (Prop. B.1)",
+    headers=["balls N", "ε", "bins B", "mean nonempty/N", "deviation rate",
+             "exp(-ε²N/2) bound"],
+    smoke={"cases": [[500, 0.10], [2_000, 0.05]], "trials": 60,
+           "slack": 0.05, "seed": 0},
+    full={"cases": [[500, 0.10], [2_000, 0.10], [2_000, 0.05],
+                    [8_000, 0.05]], "trials": 300, "slack": 0.02, "seed": 0},
+    notes=(
+        "Expected shape: mean non-empty/N ≈ 1 (N ≪ B loses few balls to "
+        "collisions); empirical deviation frequency below the Prop B.1 "
+        "bound in every regime."
+    ),
+    tags=("analysis",),
+)
+def e10_balls_bins(ctx):
+    trials = ctx.params["trials"]
+    for balls, eps in ctx.params["cases"]:
+        seed = ctx.seed + balls
+        if [balls, eps] == ctx.params["cases"][0]:
+            rate, mean_ratio = ctx.timeit(
+                "throws", _deviation_rate, balls, eps, trials, seed
+            )
+        else:
+            rate, mean_ratio = _deviation_rate(balls, eps, trials, seed)
+        bound = prop_b1_failure_bound(balls, eps)
+        ctx.record(
+            f"N={balls},eps={eps}",
+            row=[balls, f"{eps:.2f}", int(balls / eps), f"{mean_ratio:.4f}",
+                 f"{rate:.4f}", f"{bound:.2e}"],
+            balls=balls,
+            eps=eps,
+            bins=int(balls / eps),
+            mean_ratio=float(mean_ratio),
+            deviation_rate=float(rate),
+            failure_bound=float(bound),
+        )
+        ctx.check(f"deviation-N{balls}-eps{eps}",
+                  rate <= bound + ctx.params["slack"],
+                  f"{rate:.4f} vs {bound:.2e}")

@@ -1,0 +1,114 @@
+"""E11 — Propositions 2.3–2.5: properties of the G(n, d) model.
+
+Paper claims: (2.3) almost-regularity with discrepancy
+``ε = sqrt(4 log n / d)``; (2.4) connectivity w.p. ``1 - n^{-c/4}`` at
+``d = c log n``; (2.5) expansion / mixing time ``O(d² log(n/γ))``.
+Expected shape: a connectivity phase transition around ``d ≈ log n``, and
+mixing far below the (loose) d² bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+from repro.graph import (
+    component_count,
+    empirical_mixing_time,
+    paper_random_graph,
+    spectral_gap,
+)
+
+
+def _connectivity_rate(n: int, d: int, trials: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(trials):
+        if component_count(paper_random_graph(n, d, rng)) == 1:
+            hits += 1
+    return hits / trials
+
+
+@register_benchmark(
+    "e11_connectivity_threshold",
+    title="G(n,d) connectivity phase transition (Prop. 2.4)",
+    headers=["c (d = c·log n)", "d", "connected rate"],
+    smoke={"n": 256, "factors": [0.25, 1.0, 4.0, 8.0], "trials": 8,
+           "seed": 0},
+    full={"n": 512, "factors": [0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+          "trials": 20, "seed": 0},
+    notes=(
+        "Expected shape: rate ≈ 0 well below the log n threshold, → 1 "
+        "above it (Prop 2.4's 1 - n^{-c/4})."
+    ),
+    tags=("random-graph",),
+)
+def e11_connectivity_threshold(ctx):
+    n = ctx.params["n"]
+    trials = ctx.params["trials"]
+    log_n = np.log(n)
+    rates = []
+    for c in ctx.params["factors"]:
+        d = max(2, int(c * log_n))
+        seed = ctx.seed + int(c * 100)
+        if c == ctx.params["factors"][0]:
+            rate = ctx.timeit(
+                "connectivity", _connectivity_rate, n, d, trials, seed
+            )
+        else:
+            rate = _connectivity_rate(n, d, trials, seed)
+        rates.append(rate)
+        ctx.record(
+            f"c={c}",
+            row=[f"{c:.2f}", d, f"{rate:.2f}"],
+            factor=c,
+            degree=d,
+            connected_rate=float(rate),
+        )
+    ctx.check("subcritical-disconnected", rates[0] < 0.5, str(rates))
+    ctx.check("supercritical-connected", rates[-1] == 1.0, str(rates))
+
+
+@register_benchmark(
+    "e11b_regularity_mixing",
+    title="G(n,d) almost-regularity (Prop 2.3) and mixing (Prop 2.5)",
+    headers=["d", "ε predicted", "ε observed", "λ₂", "T_mix(0.01)",
+             "d²log(n/γ) bound"],
+    smoke={"n": 128, "factors": [4, 8], "seed": 0},
+    full={"n": 256, "factors": [4, 8, 16], "seed": 0},
+    notes=(
+        "Expected shape: observed discrepancy within the predicted "
+        "sqrt(4 log n/d); mixing time far below the loose d² bound "
+        "(footnote 4 concedes the d² is an artifact of the simple proof)."
+    ),
+    tags=("random-graph",),
+)
+def e11b_regularity_mixing(ctx):
+    n = ctx.params["n"]
+    for c in ctx.params["factors"]:
+        d = int(c * np.log(n))
+        g = paper_random_graph(n, d, rng=ctx.seed + c)
+        eps_pred = float(np.sqrt(4 * np.log(n) / d))
+        degrees = np.asarray(g.degrees)
+        eps_seen = float(np.abs(degrees - d).max() / d)
+        gap = spectral_gap(g)
+        if c == ctx.params["factors"][0]:
+            t_mix = ctx.timeit("mixing", empirical_mixing_time, g, 1e-2)
+        else:
+            t_mix = empirical_mixing_time(g, 1e-2)
+        bound = d**2 * np.log(n / 1e-2)  # Prop 2.5's (loose) bound
+        ctx.record(
+            f"c={c}",
+            row=[d, f"{eps_pred:.3f}", f"{eps_seen:.3f}", f"{gap:.3f}",
+                 t_mix, f"{bound:.0f}"],
+            factor=c,
+            degree=d,
+            eps_predicted=eps_pred,
+            eps_observed=eps_seen,
+            gap=float(gap),
+            mixing_time=int(t_mix),
+            mixing_bound=float(bound),
+        )
+        ctx.check(f"regularity-c{c}", eps_seen <= 2 * eps_pred,
+                  f"{eps_seen:.3f} vs {eps_pred:.3f}")
+        ctx.check(f"mixing-c{c}", t_mix <= bound, f"{t_mix} vs {bound:.0f}")

@@ -1,0 +1,91 @@
+"""E13 — Proposition 8.1: the AGM sketch.
+
+Paper claim: O(log³ n)-bit per-vertex messages let a single coordinator
+output all connected components w.h.p.  Expected shape: decode success
+≈ 1 across seeds and workloads; message size grows polylogarithmically
+while n grows 16x.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import register_benchmark
+from repro.graph import (
+    community_graph,
+    components_agree,
+    connected_components,
+    cycle_graph,
+    paper_random_graph,
+)
+from repro.sketch import AGMSketch, agm_connected_components
+
+WORKLOADS = {
+    "cycle": lambda n, seed: cycle_graph(n),
+    "sparse random": lambda n, seed: paper_random_graph(n, 4, rng=seed),
+    "communities": lambda n, seed: community_graph(
+        [n // 2, n // 4, n // 4], 6, rng=seed
+    )[0],
+}
+
+
+def _decode_success_rate(make_graph, n: int, seeds: int, base_seed: int) -> float:
+    hits = 0
+    for seed in range(base_seed, base_seed + seeds):
+        g = make_graph(n, seed)
+        try:
+            labels, _ = agm_connected_components(g, rng=seed)
+        except RuntimeError:
+            continue
+        if components_agree(labels, connected_components(g)):
+            hits += 1
+    return hits / seeds
+
+
+@register_benchmark(
+    "e13_sketch",
+    title="AGM sketch: decode success and message size (Prop. 8.1)",
+    headers=["n", "workload", "success rate", "words/vertex", "bytes/vertex"],
+    smoke={"sizes": [64, 128], "seeds_per_case": 4, "success_floor": 0.75,
+           "seed": 0},
+    full={"sizes": [64, 256, 1024], "seeds_per_case": 10,
+          "success_floor": 0.9, "seed": 0},
+    tags=("sketch",),
+)
+def e13_sketch(ctx):
+    sizes = ctx.params["sizes"]
+    seeds_per_case = ctx.params["seeds_per_case"]
+    for n in sizes:
+        words = AGMSketch.from_graph(
+            cycle_graph(n), rng=ctx.seed
+        ).words_per_vertex()
+        for name, make in WORKLOADS.items():
+            if n == sizes[0] and name == "sparse random":
+                rate = ctx.timeit(
+                    "decode", _decode_success_rate, make, n, seeds_per_case,
+                    ctx.seed,
+                )
+            else:
+                rate = _decode_success_rate(make, n, seeds_per_case, ctx.seed)
+            ctx.record(
+                f"n={n},{name}",
+                row=[n, name, f"{rate:.2f}", words, 8 * words],
+                n=n,
+                workload=name,
+                success_rate=float(rate),
+                words_per_vertex=words,
+            )
+            ctx.check(f"decode-n{n}-{name}",
+                      rate >= ctx.params["success_floor"], f"{rate:.2f}")
+
+    small_words = AGMSketch.from_graph(
+        cycle_graph(sizes[0]), rng=ctx.seed
+    ).words_per_vertex()
+    large_words = AGMSketch.from_graph(
+        cycle_graph(sizes[-1]), rng=ctx.seed
+    ).words_per_vertex()
+    ctx.note(
+        f"Message growth: {small_words} → {large_words} words while n grew "
+        f"{sizes[-1] // sizes[0]}x — polylog, consistent with O(log³ n) "
+        "bits."
+    )
+    ctx.check("polylog-message-growth", large_words <= 4 * small_words,
+              f"{small_words} -> {large_words}")

@@ -1,0 +1,92 @@
+"""E14 — Remark 1.1 ablation: quadratic vs constant-factor growth.
+
+Paper's central design choice: ``GrowComponents`` squares component
+sizes per phase by exploiting the entropy of fresh random-graph batches,
+where classical leader election (random mate, p = 1/2) shrinks the
+component count by only a constant factor per round.  Same input family,
+same election primitive, same round charges per phase — only the schedule
+differs.  Expected shape: phases-to-finish Θ(log log n) vs Θ(log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import random_mate_components
+from repro.bench.registry import register_benchmark
+from repro.core import random_graph_components
+from repro.graph import Graph, paper_random_graph_edges
+from repro.mpc import MPCEngine
+from repro.utils.rng import spawn_rngs
+
+GROWTH = 4
+HALF = 20
+
+
+def _quadratic(n: int, seed: int) -> "tuple[int, int]":
+    rngs = spawn_rngs(seed, 2)
+    batches = [paper_random_graph_edges(n, HALF, rng) for rng in rngs]
+    engine = MPCEngine.for_delta(n * HALF * 2, 0.5)
+    result = random_graph_components(
+        n, batches, [GROWTH, GROWTH**2], rng=seed, engine=engine
+    )
+    assert np.all(result.labels == 0)  # a connected random graph
+    phases = len(result.grow.telemetry) + (1 if result.broadcast_rounds else 0)
+    return phases, engine.rounds
+
+
+def _constant(n: int, seed: int) -> "tuple[int, int]":
+    rng = spawn_rngs(seed, 1)[0]
+    graph = Graph(n, paper_random_graph_edges(n, HALF * 2, rng))
+    engine = MPCEngine.for_delta(n * HALF * 2, 0.5)
+    result = random_mate_components(graph, rng=seed, engine=engine)
+    assert np.all(result.labels == 0)
+    return result.iterations, engine.rounds
+
+
+@register_benchmark(
+    "e14_growth_ablation",
+    title="Ablation: quadratic (GrowComponents) vs constant (random-mate) "
+          "growth",
+    headers=["n", "quad phases", "quad rounds", "const phases",
+             "const rounds", "loglog n", "log n"],
+    smoke={"sizes": [1_000, 4_000], "const_factor": 2, "seed": 81},
+    full={"sizes": [2_000, 8_000, 32_000], "const_factor": 3, "seed": 81},
+    notes=(
+        "Same random-graph inputs, same leader-election primitive, same "
+        "per-phase round charges. Expected shape: quadratic finishes in "
+        "~loglog n phases at every n; constant growth needs ~log n "
+        "iterations and keeps climbing."
+    ),
+    tags=("grow", "ablation"),
+)
+def e14_growth_ablation(ctx):
+    quad_phases, const_phases = [], []
+    for n in ctx.params["sizes"]:
+        if n == ctx.params["sizes"][0]:
+            qp, qr = ctx.timeit("quadratic", _quadratic, n, ctx.seed)
+        else:
+            qp, qr = _quadratic(n, ctx.seed)
+        cp, cr = _constant(n, ctx.seed)
+        quad_phases.append(qp)
+        const_phases.append(cp)
+        ctx.record(
+            f"n={n}",
+            row=[n, qp, qr, cp, cr, f"{np.log2(np.log2(n)):.1f}",
+                 f"{np.log2(n):.1f}"],
+            n=n,
+            quadratic_phases=qp,
+            quadratic_rounds=qr,
+            constant_phases=cp,
+            constant_rounds=cr,
+        )
+
+    ctx.check("quadratic-loglog", max(quad_phases) <= 4, str(quad_phases))
+    ctx.check("constant-climbs", const_phases[-1] >= const_phases[0],
+              str(const_phases))
+    ctx.check(
+        "quadratic-wins",
+        const_phases[-1] >= ctx.params["const_factor"] * max(quad_phases),
+        f"{const_phases[-1]} vs {ctx.params['const_factor']}x "
+        f"{max(quad_phases)}",
+    )

@@ -1,0 +1,111 @@
+"""The benchmark registry: named experiments with per-suite parameters.
+
+Every experiment in :mod:`repro.bench.experiments` registers itself with
+:func:`register_benchmark`, declaring a human title, table headers, and
+one parameter dict per suite (``smoke`` for CI-sized runs, ``full`` for
+the paper-shape sweeps).  The runner and CLI only ever talk to the
+registry — adding a workload is writing one decorated function.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+SUITES = ("smoke", "full")
+
+_EXPERIMENTS_MODULE = "repro.bench.experiments"
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered experiment."""
+
+    name: str
+    func: "callable"
+    title: str
+    headers: "tuple[str, ...]"
+    suites: "dict[str, dict]"
+    notes: str = ""
+    tags: "tuple[str, ...]" = field(default_factory=tuple)
+
+    def params_for(self, suite: str) -> dict:
+        if suite not in self.suites:
+            raise KeyError(
+                f"benchmark {self.name!r} has no {suite!r} suite "
+                f"(available: {sorted(self.suites)})"
+            )
+        return dict(self.suites[suite])
+
+
+_REGISTRY: "dict[str, BenchmarkSpec]" = {}
+
+
+def register_benchmark(
+    name: str,
+    *,
+    title: str,
+    headers: "list[str]",
+    smoke: dict,
+    full: dict,
+    notes: str = "",
+    tags: "tuple[str, ...]" = (),
+):
+    """Decorator: add an experiment function to the registry.
+
+    The decorated function receives a :class:`repro.bench.runner.BenchContext`
+    and reports through ``ctx.record`` / ``ctx.timeit`` / ``ctx.check``.
+    Registering the same name twice is an error — benches are identities
+    that JSON artifacts refer to across commits.
+    """
+
+    def decorator(func):
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _REGISTRY[name] = BenchmarkSpec(
+            name=name,
+            func=func,
+            title=title,
+            headers=tuple(headers),
+            suites={"smoke": dict(smoke), "full": dict(full)},
+            notes=notes,
+            tags=tuple(tags),
+        )
+        return func
+
+    return decorator
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove one registration (test isolation helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    load_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_names() -> "list[str]":
+    load_experiments()
+    return sorted(_REGISTRY)
+
+
+def iter_benchmarks(filters: "list[str] | None" = None) -> "list[BenchmarkSpec]":
+    """All registered specs whose name matches any filter substring."""
+    load_experiments()
+    specs = [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    if not filters:
+        return specs
+    return [s for s in specs if any(f in s.name for f in filters)]
+
+
+def load_experiments() -> "list[str]":
+    """Import the bundled experiment modules (idempotent)."""
+    module = importlib.import_module(_EXPERIMENTS_MODULE)
+    return list(getattr(module, "__all__", []))

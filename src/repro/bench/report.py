@@ -1,0 +1,283 @@
+"""Reporting: human tables and the stable ``BENCH_<name>.json`` schema.
+
+The JSON artifact is the machine-readable performance trajectory of the
+repo: one file per benchmark, one record per sweep point, annotated with
+the git SHA that produced it.  ``compare_bench_files`` diffs two
+artifacts of the same benchmark so CI (or a human) can spot round-count
+regressions and wall-clock drift across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import time
+
+from repro.bench.runner import CaseResult
+
+SCHEMA_VERSION = 1
+
+#: Keys every BENCH_*.json must carry (the round-trip contract).
+REQUIRED_KEYS = (
+    "schema_version",
+    "name",
+    "title",
+    "suite",
+    "seed",
+    "git_sha",
+    "created_unix",
+    "python",
+    "total_seconds",
+    "params",
+    "headers",
+    "rows",
+    "records",
+    "timings",
+    "checks",
+    "notes",
+)
+
+
+# -- human tables ------------------------------------------------------------
+
+
+def format_table(title: str, headers: "list[str]", rows: "list[list]") -> str:
+    """Right-aligned ASCII table (the format the former benches printed)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_case(result: CaseResult) -> str:
+    """The full human-readable report for one benchmark run."""
+    text = format_table(
+        f"[{result.name}] {result.title}", list(result.headers), result.rows
+    )
+    for note in result.notes:
+        text += f"\n\n{note}"
+    if result.timings:
+        timed = "; ".join(
+            f"{t.label}: {t.best:.4f}s (best of {t.repeat})" for t in result.timings
+        )
+        text += f"\n\nkernels — {timed}"
+    text += (
+        f"\n[{result.suite}] total {result.total_seconds:.2f}s, "
+        f"{len(result.records)} records, "
+        f"{sum(1 for c in result.checks if c['ok'])}/{len(result.checks)} "
+        "checks ok"
+    )
+    return text
+
+
+# -- JSON artifacts ----------------------------------------------------------
+
+
+def git_sha(cwd: "str | None" = None) -> str:
+    """The commit being measured: git HEAD, then $GITHUB_SHA, else unknown."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
+    """Serialize one run into the stable artifact schema."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": result.name,
+        "title": result.title,
+        "suite": result.suite,
+        "seed": result.seed,
+        "git_sha": git_sha() if sha is None else sha,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "total_seconds": result.total_seconds,
+        "params": _jsonable(result.params),
+        "headers": list(result.headers),
+        "rows": [[str(c) for c in row] for row in result.rows],
+        "records": [_jsonable(r) for r in result.records],
+        "timings": [t.to_json() for t in result.timings],
+        "checks": list(result.checks),
+        "notes": list(result.notes),
+    }
+
+
+def _jsonable(value):
+    """Coerce numpy scalars / tuples into plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item) and getattr(
+        value, "shape", None
+    ) == ():
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value
+
+
+def artifact_path(json_dir: "str | pathlib.Path", name: str) -> pathlib.Path:
+    return pathlib.Path(json_dir) / f"BENCH_{name}.json"
+
+
+def write_case_json(
+    result: CaseResult,
+    json_dir: "str | pathlib.Path",
+    *,
+    sha: "str | None" = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``json_dir`` and return its path."""
+    path = artifact_path(json_dir, result.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = case_to_json(result, sha=sha)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_case_json(path: "str | pathlib.Path") -> dict:
+    """Load and validate one artifact (raises on schema violations)."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    validate_case_json(doc)
+    return doc
+
+
+def validate_case_json(doc: dict) -> dict:
+    """Check the round-trip contract; returns ``doc`` for chaining."""
+    missing = [key for key in REQUIRED_KEYS if key not in doc]
+    if missing:
+        raise ValueError(f"BENCH artifact missing required keys: {missing}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {doc['schema_version']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    for record in doc["records"]:
+        if "key" not in record:
+            raise ValueError(f"record without a stable key: {record!r}")
+    return doc
+
+
+# -- regression compare ------------------------------------------------------
+
+
+def compare_cases(
+    old: dict,
+    new: dict,
+    *,
+    time_tolerance: float = 0.25,
+) -> dict:
+    """Diff two artifacts of the same benchmark.
+
+    Integer performance counters (fields named ``*rounds``, ``*machines``,
+    ``*phases``, ``*iterations``) are compared exactly; any increase is a
+    regression and clears ``ok``.  Wall-clock drifts with the host, so the
+    per-case ``total_seconds`` is only *flagged* (beyond ``time_tolerance``
+    fractional slowdown) — informational, never a gate: two artifacts from
+    different machines must not fail on speed alone.
+    """
+    validate_case_json(old)
+    validate_case_json(new)
+    if old["name"] != new["name"]:
+        raise ValueError(
+            f"comparing different benchmarks: {old['name']!r} vs {new['name']!r}"
+        )
+
+    old_records = {r["key"]: r for r in old["records"]}
+    new_records = {r["key"]: r for r in new["records"]}
+    counter_suffixes = ("rounds", "machines", "phases", "iterations")
+
+    regressions, improvements, unchanged = [], [], []
+    for key in sorted(old_records.keys() & new_records.keys()):
+        before, after = old_records[key], new_records[key]
+        for fname in sorted(before.keys() & after.keys()):
+            b, a = before[fname], after[fname]
+            if not fname.endswith(counter_suffixes):
+                continue
+            if not isinstance(b, (int, float)) or not isinstance(a, (int, float)):
+                continue
+            entry = {"key": key, "field": fname, "old": b, "new": a}
+            if a > b:
+                regressions.append(entry)
+            elif a < b:
+                improvements.append(entry)
+            else:
+                unchanged.append(entry)
+
+    old_t, new_t = old["total_seconds"], new["total_seconds"]
+    slower = old_t > 0 and (new_t - old_t) / old_t > time_tolerance
+
+    return {
+        "name": old["name"],
+        "old_sha": old["git_sha"],
+        "new_sha": new["git_sha"],
+        "regressions": regressions,
+        "improvements": improvements,
+        "unchanged": len(unchanged),
+        "added_keys": sorted(new_records.keys() - old_records.keys()),
+        "removed_keys": sorted(old_records.keys() - new_records.keys()),
+        "total_seconds": {"old": old_t, "new": new_t, "flagged_slower": slower},
+        "ok": not regressions,
+    }
+
+
+def compare_bench_files(
+    old_path: "str | pathlib.Path",
+    new_path: "str | pathlib.Path",
+    *,
+    time_tolerance: float = 0.25,
+) -> dict:
+    """:func:`compare_cases` on two ``BENCH_*.json`` files."""
+    return compare_cases(
+        load_case_json(old_path),
+        load_case_json(new_path),
+        time_tolerance=time_tolerance,
+    )
+
+
+def format_comparison(diff: dict) -> str:
+    lines = [
+        f"[{diff['name']}] {diff['old_sha'][:12]} -> {diff['new_sha'][:12]}: "
+        + ("OK" if diff["ok"] else "REGRESSED")
+    ]
+    for entry in diff["regressions"]:
+        lines.append(
+            f"  REGRESSION {entry['key']}.{entry['field']}: "
+            f"{entry['old']} -> {entry['new']}"
+        )
+    for entry in diff["improvements"]:
+        lines.append(
+            f"  improved   {entry['key']}.{entry['field']}: "
+            f"{entry['old']} -> {entry['new']}"
+        )
+    t = diff["total_seconds"]
+    lines.append(
+        f"  wall time  {t['old']:.2f}s -> {t['new']:.2f}s"
+        + ("  (flagged slower)" if t["flagged_slower"] else "")
+    )
+    if diff["added_keys"]:
+        lines.append(f"  new records: {', '.join(diff['added_keys'])}")
+    if diff["removed_keys"]:
+        lines.append(f"  dropped records: {', '.join(diff['removed_keys'])}")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""The ``Workload`` abstraction: graph family × size × gap parameters.
+
+A workload is a declarative recipe for a benchmark input graph, built on
+:mod:`repro.graph.generators`.  Experiments declare workloads in their
+suite parameters (so smoke and full runs differ only in numbers), and the
+JSON artifacts carry ``workload.label`` as the stable record key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import generators
+from repro.utils.rng import ensure_rng
+
+_FAMILIES: "dict[str, callable]" = {}
+
+
+def register_family(name: str):
+    """Decorator: register a ``builder(n, rng, **params) -> Graph``."""
+
+    def decorator(builder):
+        if name in _FAMILIES:
+            raise ValueError(f"graph family {name!r} is already registered")
+        _FAMILIES[name] = builder
+        return builder
+
+    return decorator
+
+
+def family_names() -> "list[str]":
+    return sorted(_FAMILIES)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible benchmark input: ``family`` at size ``n``.
+
+    ``params`` carries the family's knobs — degree, bridge count, segment
+    count — i.e. everything that shapes the spectral gap at a given size.
+    """
+
+    family: str
+    n: int
+    params: "dict" = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.family not in _FAMILIES:
+            raise KeyError(
+                f"unknown graph family {self.family!r}; "
+                f"available: {family_names()}"
+            )
+        if self.n <= 0:
+            raise ValueError(f"workload size must be positive, got {self.n}")
+
+    @property
+    def label(self) -> str:
+        knobs = "".join(f",{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}(n={self.n}{knobs})"
+
+    def build(self, rng=None):
+        """Materialise the graph (deterministic for a seeded ``rng``)."""
+        return _FAMILIES[self.family](self.n, ensure_rng(rng), **self.params)
+
+    def to_json(self) -> dict:
+        return {"family": self.family, "n": self.n, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Workload":
+        return cls(doc["family"], int(doc["n"]), dict(doc.get("params", {})))
+
+
+# -- the families ------------------------------------------------------------
+
+
+@register_family("path")
+def _path(n, rng):
+    return generators.path_graph(n)
+
+
+@register_family("cycle")
+def _cycle(n, rng):
+    return generators.cycle_graph(n)
+
+
+@register_family("star")
+def _star(n, rng):
+    return generators.star_graph(n)
+
+
+@register_family("complete")
+def _complete(n, rng):
+    return generators.complete_graph(n)
+
+
+@register_family("grid")
+def _grid(n, rng):
+    side = max(2, int(round(n**0.5)))
+    return generators.grid_graph(side, side)
+
+
+@register_family("hypercube")
+def _hypercube(n, rng):
+    dim = max(1, (n - 1).bit_length())
+    return generators.hypercube_graph(dim)
+
+
+@register_family("paper_random")
+def _paper_random(n, rng, degree=8):
+    return generators.paper_random_graph(n, degree, rng=rng)
+
+
+@register_family("permutation_regular")
+def _permutation_regular(n, rng, degree=6):
+    return generators.permutation_regular_graph(n, degree, rng=rng)
+
+
+@register_family("erdos_renyi")
+def _erdos_renyi(n, rng, p=0.05):
+    return generators.erdos_renyi(n, p, rng=rng)
+
+
+@register_family("dumbbell")
+def _dumbbell(n, rng, degree=8, bridges=1):
+    return generators.dumbbell_graph(n // 2, degree, bridges=bridges, rng=rng)
+
+
+@register_family("expander_path")
+def _expander_path(n, rng, count=8, degree=8):
+    return generators.expander_path(count, max(4, n // count), degree, rng=rng)
+
+
+@register_family("ring_of_expanders")
+def _ring_of_expanders(n, rng, count=8, degree=8):
+    return generators.ring_of_expanders(count, max(4, n // count), degree, rng=rng)

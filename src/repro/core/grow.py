@@ -17,7 +17,7 @@ bench can print measured-vs-claimed tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -24,7 +24,6 @@ iterations, for inputs whose spectral gap is unknown.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.lower_bound.hard_family import HardFamily
-from repro.utils.rng import ensure_rng
 
 
 @dataclass

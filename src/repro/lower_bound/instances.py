@@ -18,7 +18,6 @@ from repro.graph.generators import permutation_regular_graph
 from repro.graph.graph import Graph
 from repro.lower_bound.hard_family import HardFamily
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_positive_int
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mpc.cost import MPCCostModel
 from repro.utils.validation import check_nonnegative_int, check_positive_int
@@ -43,6 +43,10 @@ class PhaseSummary:
     name: str
     rounds: int
     charges: int
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the ``BENCH_*.json`` artifacts."""
+        return {"name": self.name, "rounds": self.rounds, "charges": self.charges}
 
 
 class MPCEngine:
@@ -164,13 +168,20 @@ class MPCEngine:
         ]
 
     def summary(self) -> dict:
-        """Machine-readable run summary."""
+        """Machine-readable run summary (JSON-serializable).
+
+        ``phases`` keeps the historical name → rounds mapping;
+        ``phase_breakdown`` carries the full per-phase records (rounds and
+        charge counts, in first-charge order) that the benchmark artifacts
+        embed.
+        """
         return {
             "machine_memory": self.machine_memory,
             "rounds": self.rounds,
             "peak_items": self.peak_items,
             "peak_machines": self.peak_machines,
             "phases": {p.name: p.rounds for p in self.phase_summaries()},
+            "phase_breakdown": [p.to_json() for p in self.phase_summaries()],
         }
 
     def reset(self) -> None:

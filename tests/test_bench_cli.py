@@ -1,0 +1,95 @@
+"""CLI: list/filter/run/json/compare paths of ``python -m repro.bench``."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import cli
+
+NAME = "zz_test_cli_case"
+
+
+@pytest.fixture
+def cli_case():
+    @bench.register_benchmark(
+        NAME,
+        title="cli case",
+        headers=["x"],
+        smoke={"seed": 1},
+        full={"seed": 1},
+    )
+    def _case(ctx):
+        ctx.record("pt", row=[1], x=1, cli_rounds=4)
+
+    yield
+    bench.unregister_benchmark(NAME)
+
+
+def test_list_mode(cli_case, capsys):
+    assert cli.main(["--list", "--filter", NAME]) == 0
+    out = capsys.readouterr().out
+    assert NAME in out
+    assert "cli case" in out
+
+
+def test_no_match_is_an_error(capsys):
+    assert cli.main(["--filter", "zz_nothing_matches_this"]) == 2
+
+
+def test_run_writes_artifact(cli_case, tmp_path, capsys):
+    rc = cli.main([
+        "--suite", "smoke", "--filter", NAME, "--json-dir", str(tmp_path),
+    ])
+    assert rc == 0
+    artifact = tmp_path / f"BENCH_{NAME}.json"
+    assert artifact.exists()
+    doc = json.loads(artifact.read_text())
+    assert doc["name"] == NAME
+    assert doc["suite"] == "smoke"
+    out = capsys.readouterr().out
+    assert "ran 1/1 benchmarks" in out
+
+
+def test_no_json_flag(cli_case, tmp_path, capsys):
+    rc = cli.main([
+        "--suite", "smoke", "--filter", NAME, "--json-dir", str(tmp_path),
+        "--no-json",
+    ])
+    assert rc == 0
+    assert not list(tmp_path.glob("BENCH_*.json"))
+
+
+def test_failing_case_sets_exit_code(tmp_path, capsys):
+    @bench.register_benchmark(
+        "zz_test_cli_failing",
+        title="failing",
+        headers=["x"],
+        smoke={"seed": 1},
+        full={"seed": 1},
+    )
+    def _failing(ctx):
+        ctx.check("never-true", False)
+
+    try:
+        rc = cli.main([
+            "--filter", "zz_test_cli_failing", "--json-dir", str(tmp_path),
+        ])
+        assert rc == 1
+        assert "FAILED zz_test_cli_failing" in capsys.readouterr().err
+    finally:
+        bench.unregister_benchmark("zz_test_cli_failing")
+
+
+def test_compare_mode(cli_case, tmp_path, capsys):
+    result = bench.run_case(NAME, suite="smoke")
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    old_path = bench.write_case_json(result, old_dir)
+    new_path = bench.write_case_json(result, new_dir)
+    assert cli.main(["--compare", str(old_path), str(new_path)]) == 0
+
+    doc = json.loads(new_path.read_text())
+    doc["records"][0]["cli_rounds"] += 1
+    new_path.write_text(json.dumps(doc))
+    assert cli.main(["--compare", str(old_path), str(new_path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""End-to-end: one real registered experiment through runner + artifacts.
+
+The full smoke suite runs in CI (`python -m repro.bench --suite smoke`);
+here we pin the contract on a cheap representative case so tier-1 keeps
+covering the integration without paying the whole sweep.
+"""
+
+import pytest
+
+from repro import bench
+
+
+@pytest.fixture(scope="module")
+def e04_result():
+    return bench.run_case("e04_regularization", suite="smoke")
+
+
+def test_real_case_runs_and_checks(e04_result):
+    assert e04_result.suite == "smoke"
+    assert e04_result.records
+    assert e04_result.rows
+    assert all(c["ok"] for c in e04_result.checks)
+
+
+def test_real_case_artifact_round_trip(e04_result, tmp_path):
+    path = bench.write_case_json(e04_result, tmp_path)
+    doc = bench.load_case_json(path)
+    assert doc["name"] == "e04_regularization"
+    assert doc["records"][0]["key"].startswith("paper_random")
+    # Self-compare is clean: no counter moves, no wall-clock flag.
+    diff = bench.compare_bench_files(path, path)
+    assert diff["ok"]
+
+
+def test_engine_summary_is_embedded_and_serializable():
+    result = bench.run_case("e01_rounds_vs_n", suite="smoke")
+    record = result.records[0]
+    engine = record["pipeline_engine"]
+    assert engine["rounds"] > 0
+    assert engine["peak_machines"] >= 1
+    assert isinstance(engine["phase_breakdown"], list)
+    assert {"name", "rounds", "charges"} <= set(engine["phase_breakdown"][0])

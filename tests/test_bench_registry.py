@@ -1,0 +1,74 @@
+"""Registry: registration, dedup, lookup, filtering."""
+
+import pytest
+
+from repro import bench
+
+
+def _dummy(ctx):
+    ctx.record("only", row=["only"], value_rounds=1)
+
+
+def _make(name):
+    return bench.register_benchmark(
+        name,
+        title="dummy",
+        headers=["h"],
+        smoke={"seed": 0},
+        full={"seed": 0},
+    )(_dummy)
+
+
+@pytest.fixture
+def temp_case():
+    name = "zz_test_registry_case"
+    _make(name)
+    yield name
+    bench.unregister_benchmark(name)
+
+
+def test_registration_and_lookup(temp_case):
+    spec = bench.get_benchmark(temp_case)
+    assert spec.name == temp_case
+    assert spec.func is _dummy
+    assert spec.headers == ("h",)
+    assert spec.params_for("smoke") == {"seed": 0}
+
+
+def test_duplicate_name_rejected(temp_case):
+    with pytest.raises(ValueError, match="already registered"):
+        _make(temp_case)
+
+
+def test_unknown_suite_rejected(temp_case):
+    spec = bench.get_benchmark(temp_case)
+    with pytest.raises(KeyError, match="no 'nightly' suite"):
+        spec.params_for("nightly")
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        bench.get_benchmark("zz_does_not_exist")
+
+
+def test_params_are_copies(temp_case):
+    spec = bench.get_benchmark(temp_case)
+    spec.params_for("smoke")["seed"] = 99
+    assert spec.params_for("smoke") == {"seed": 0}
+
+
+def test_iter_benchmarks_filters(temp_case):
+    names = [s.name for s in bench.iter_benchmarks(["zz_test_registry"])]
+    assert names == [temp_case]
+    assert bench.iter_benchmarks(["zz_no_such_prefix"]) == []
+
+
+def test_all_sixteen_experiments_registered():
+    bench.load_experiments()
+    names = bench.registered_names()
+    for i in range(1, 17):
+        prefix = f"e{i:02d}"
+        assert any(n.startswith(prefix) for n in names), prefix
+    # Every registered case declares both suites.
+    for spec in bench.iter_benchmarks():
+        assert set(spec.suites) == {"smoke", "full"}, spec.name

@@ -1,0 +1,131 @@
+"""Reporter: JSON schema round-trip, tables, regression compare."""
+
+import json
+
+import pytest
+
+from repro import bench
+
+NAME = "zz_test_report_case"
+
+
+@pytest.fixture
+def case_result():
+    @bench.register_benchmark(
+        NAME,
+        title="report case",
+        headers=["x", "rounds"],
+        smoke={"seed": 2},
+        full={"seed": 2},
+    )
+    def _case(ctx):
+        ctx.timeit("kernel", lambda: 42)
+        ctx.record("point-a", row=[1, 7], x=1, sweep_rounds=7,
+                   peak_machines=3)
+        ctx.record("point-b", row=[2, 9], x=2, sweep_rounds=9,
+                   peak_machines=4)
+        ctx.check("shape", True)
+
+    yield bench.run_case(NAME, suite="smoke")
+    bench.unregister_benchmark(NAME)
+
+
+def test_format_table_alignment():
+    text = bench.format_table("T", ["a", "long"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].split(" | ") == ["  a", "long"]
+    assert lines[-1].split(" | ") == ["333", "   4"]
+
+
+def test_render_case_contains_table_and_summary(case_result):
+    text = bench.render_case(case_result)
+    assert "[zz_test_report_case] report case" in text
+    assert "point" not in text  # keys are for JSON, rows for humans
+    assert "kernel" in text
+    assert "1/1 checks ok" in text
+
+
+def test_case_to_json_has_required_keys(case_result):
+    doc = bench.case_to_json(case_result)
+    for key in bench.REQUIRED_KEYS:
+        assert key in doc, key
+    assert doc["schema_version"] == bench.SCHEMA_VERSION
+    assert doc["git_sha"]
+    assert len(doc["git_sha"]) >= 7  # a real SHA, not empty
+    assert doc["records"][0]["key"] == "point-a"
+    assert doc["timings"][0]["label"] == "kernel"
+
+
+def test_write_load_round_trip(case_result, tmp_path):
+    path = bench.write_case_json(case_result, tmp_path)
+    assert path.name == f"BENCH_{NAME}.json"
+    doc = bench.load_case_json(path)
+    assert doc["name"] == NAME
+    assert doc["total_seconds"] == pytest.approx(case_result.total_seconds)
+
+
+def test_validate_rejects_missing_keys(case_result):
+    doc = bench.case_to_json(case_result)
+    del doc["git_sha"]
+    with pytest.raises(ValueError, match="git_sha"):
+        bench.validate_case_json(doc)
+
+
+def test_validate_rejects_keyless_records(case_result):
+    doc = bench.case_to_json(case_result)
+    doc["records"].append({"x": 3})
+    with pytest.raises(ValueError, match="stable key"):
+        bench.validate_case_json(doc)
+
+
+def test_compare_flags_counter_regressions(case_result, tmp_path):
+    old = bench.case_to_json(case_result, sha="a" * 40)
+    new = bench.case_to_json(case_result, sha="b" * 40)
+    new["records"][0]["sweep_rounds"] += 5       # regression
+    new["records"][1]["peak_machines"] -= 1      # improvement
+    diff = bench.compare_cases(old, new)
+    assert not diff["ok"]
+    assert [e["field"] for e in diff["regressions"]] == ["sweep_rounds"]
+    assert [e["field"] for e in diff["improvements"]] == ["peak_machines"]
+    text = bench.format_comparison(diff)
+    assert "REGRESSION point-a.sweep_rounds: 7 -> 12" in text
+
+
+def test_compare_flags_wall_clock_blowups_without_gating(case_result):
+    old = bench.case_to_json(case_result)
+    new = bench.case_to_json(case_result)
+    new["total_seconds"] = old["total_seconds"] * 10
+    diff = bench.compare_cases(old, new, time_tolerance=0.5)
+    assert diff["total_seconds"]["flagged_slower"]
+    # Wall clock is host-dependent: flagged for humans, never a gate.
+    assert diff["ok"]
+    assert "flagged slower" in bench.format_comparison(diff)
+
+
+def test_compare_tracks_added_and_removed_keys(case_result):
+    old = bench.case_to_json(case_result)
+    new = json.loads(json.dumps(old))
+    new["records"][1]["key"] = "point-c"
+    diff = bench.compare_cases(old, new)
+    assert diff["added_keys"] == ["point-c"]
+    assert diff["removed_keys"] == ["point-b"]
+    assert diff["ok"]  # renames aren't counter regressions
+
+
+def test_compare_bench_files(case_result, tmp_path):
+    path_a = tmp_path / "a" / f"BENCH_{NAME}.json"
+    path_b = tmp_path / "b" / f"BENCH_{NAME}.json"
+    bench.write_case_json(case_result, tmp_path / "a")
+    bench.write_case_json(case_result, tmp_path / "b")
+    diff = bench.compare_bench_files(path_a, path_b)
+    assert diff["ok"]
+    assert diff["regressions"] == []
+
+
+def test_compare_rejects_different_benchmarks(case_result):
+    old = bench.case_to_json(case_result)
+    new = bench.case_to_json(case_result)
+    new["name"] = "something_else"
+    with pytest.raises(ValueError, match="different benchmarks"):
+        bench.compare_cases(old, new)

@@ -1,0 +1,105 @@
+"""Runner: context bookkeeping, warmup/repeat timing, shape checks."""
+
+import pytest
+
+from repro import bench
+
+NAME = "zz_test_runner_case"
+
+
+@pytest.fixture
+def tiny_case():
+    calls = {"count": 0}
+
+    @bench.register_benchmark(
+        NAME,
+        title="tiny",
+        headers=["x", "rounds"],
+        smoke={"xs": [1, 2], "seed": 5},
+        full={"xs": [1, 2, 3], "seed": 5},
+        notes="static note",
+    )
+    def _tiny(ctx):
+        def kernel(x):
+            calls["count"] += 1
+            return x * 10
+
+        for x in ctx.params["xs"]:
+            value = ctx.timeit(f"kernel-{x}", kernel, x) if x == 1 else kernel(x)
+            ctx.record(f"x={x}", row=[x, value], x=x, kernel_rounds=value)
+        ctx.note("dynamic note")
+        ctx.check("values-positive", True)
+
+    yield calls
+    bench.unregister_benchmark(NAME)
+
+
+def test_run_case_smoke(tiny_case):
+    result = bench.run_case(NAME, suite="smoke")
+    assert result.name == NAME
+    assert result.suite == "smoke"
+    assert result.seed == 5
+    assert [r["key"] for r in result.records] == ["x=1", "x=2"]
+    assert result.rows == [[1, 10], [2, 20]]
+    assert result.notes == ["static note", "dynamic note"]
+    assert result.checks == [{"name": "values-positive", "ok": True}]
+    assert result.total_seconds > 0
+
+
+def test_suites_change_params(tiny_case):
+    result = bench.run_case(NAME, suite="full")
+    assert len(result.records) == 3
+
+
+def test_warmup_repeat_policy(tiny_case):
+    result = bench.run_case(NAME, suite="smoke", warmup=2, repeat=3)
+    [timing] = result.timings
+    assert timing.warmup == 2
+    assert timing.repeat == 3
+    assert len(timing.seconds) == 3
+    assert timing.best <= timing.mean
+    # warmup(2) + repeat(3) timed calls for x=1, one plain call for x=2.
+    assert tiny_case["count"] == 6
+
+
+def test_rounds_by_key_extracts_counters(tiny_case):
+    result = bench.run_case(NAME, suite="smoke")
+    assert result.rounds_by_key == {"x=1.kernel_rounds": 10,
+                                    "x=2.kernel_rounds": 20}
+
+
+def test_duplicate_record_key_rejected():
+    @bench.register_benchmark(
+        "zz_test_dup_key",
+        title="dup",
+        headers=["h"],
+        smoke={"seed": 0},
+        full={"seed": 0},
+    )
+    def _dup(ctx):
+        ctx.record("same", row=["a"])
+        ctx.record("same", row=["b"])
+
+    try:
+        with pytest.raises(ValueError, match="duplicate record key"):
+            bench.run_case("zz_test_dup_key", suite="smoke")
+    finally:
+        bench.unregister_benchmark("zz_test_dup_key")
+
+
+def test_failing_check_raises_and_names_the_check():
+    @bench.register_benchmark(
+        "zz_test_failing_check",
+        title="failing",
+        headers=["h"],
+        smoke={"seed": 0},
+        full={"seed": 0},
+    )
+    def _failing(ctx):
+        ctx.check("expected-shape", False, "details here")
+
+    try:
+        with pytest.raises(bench.BenchCheckError, match="expected-shape"):
+            bench.run_case("zz_test_failing_check", suite="smoke")
+    finally:
+        bench.unregister_benchmark("zz_test_failing_check")

@@ -1,0 +1,55 @@
+"""Workload abstraction: families, determinism, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Workload, family_names
+from repro.graph import connected_components
+
+
+def test_known_families_present():
+    names = family_names()
+    for expected in ("path", "grid", "paper_random", "permutation_regular",
+                     "dumbbell", "expander_path"):
+        assert expected in names
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(KeyError, match="unknown graph family"):
+        Workload("zz_not_a_family", 16)
+
+
+def test_bad_size_rejected():
+    with pytest.raises(ValueError, match="positive"):
+        Workload("path", 0)
+
+
+def test_build_is_deterministic_per_seed():
+    w = Workload("permutation_regular", 64, {"degree": 4})
+    a, b = w.build(7), w.build(7)
+    assert np.array_equal(a.edges, b.edges)
+    c = w.build(8)
+    assert not np.array_equal(a.edges, c.edges)
+
+
+def test_build_produces_requested_size():
+    assert Workload("path", 33).build(0).n == 33
+    assert Workload("dumbbell", 64, {"degree": 6}).build(0).n == 64
+    assert Workload("paper_random", 50, {"degree": 8}).build(1).n == 50
+
+
+def test_dumbbell_is_connected_with_bridges():
+    graph = Workload("dumbbell", 64, {"degree": 6, "bridges": 2}).build(3)
+    assert int(connected_components(graph).max()) == 0
+
+
+def test_label_is_stable_and_sorted():
+    w = Workload("dumbbell", 64, {"degree": 6, "bridges": 2})
+    assert w.label == "dumbbell(n=64,bridges=2,degree=6)"
+
+
+def test_json_round_trip():
+    w = Workload("expander_path", 96, {"count": 4, "degree": 8})
+    again = Workload.from_json(w.to_json())
+    assert again == w
+    assert again.label == w.label

@@ -1,6 +1,5 @@
 """Tests for the parallel expander construction (Section 4)."""
 
-import numpy as np
 import pytest
 
 from repro.graph import component_count, spectral_gap

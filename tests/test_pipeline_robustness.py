@@ -26,6 +26,10 @@ from repro.graph import (
     star_graph,
 )
 
+# Failure-injection sweeps are the long tail of the test run; CI's fast
+# tier skips them (-m "not slow") and a scheduled job runs them nightly.
+pytestmark = pytest.mark.slow
+
 TINY = PipelineConfig(max_walk_length=32, oversample=4, growth=4, max_phases=2)
 
 

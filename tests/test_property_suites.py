@@ -21,6 +21,10 @@ from repro.graph import (
 )
 from repro.sketch import L0Sampler, OneSparseRecovery
 
+# Generated-data suites are the long tail of the test run; CI's fast tier
+# skips them (-m "not slow") and a scheduled job runs them nightly.
+pytestmark = pytest.mark.slow
+
 common_settings = settings(
     max_examples=40,
     deadline=None,

@@ -1,7 +1,6 @@
 """Tests for Lemma 6.1/6.2 — connectivity on unions of random graphs."""
 
 import numpy as np
-import pytest
 
 from repro.core import random_graph_components
 from repro.graph import (
