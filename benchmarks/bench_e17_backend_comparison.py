@@ -1,0 +1,12 @@
+"""E17 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e17``.
+The case itself runs the pipeline on *both* execution backends (local
+accounting vs enforced numpy shards) and differential-checks them, so it
+ignores ``BENCH_BACKEND``; that variable steers the single-backend
+pipeline cases (e.g. E1).
+"""
+
+
+def test_e17_backend_comparison(bench_case):
+    bench_case("e17_backend_comparison")

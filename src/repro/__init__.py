@@ -12,7 +12,11 @@ Public API highlights
   no gap knowledge required.
 * :func:`repro.core.sublinear_connectivity` — Theorem 2: arbitrary graphs
   with mildly sublinear memory, via AGM sketching.
-* :mod:`repro.mpc` — the round-accounting MPC simulator.
+* :mod:`repro.mpc` — the round-accounting MPC simulator, with pluggable
+  execution backends (:mod:`repro.mpc.backends`): the accounting-only
+  ``LocalBackend`` and the ``ShardedBackend`` that runs the data plane on
+  numpy shards with enforced memory/communication caps
+  (``mpc_connected_components(..., backend="sharded")``).
 * :mod:`repro.graph` — multigraphs, generators, spectra, walks.
 * :mod:`repro.products` / :mod:`repro.sketch` / :mod:`repro.baselines` /
   :mod:`repro.lower_bound` — the substrates (expander products, linear

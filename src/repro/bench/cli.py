@@ -52,6 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_<name>.json artifacts (default: .)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("local", "sharded"),
+        default="local",
+        help="execution backend for pipeline experiments: 'local' charges "
+        "rounds on plain vectorised numpy (default); 'sharded' runs the "
+        "data plane on numpy shards with enforced per-shard memory and "
+        "per-round communication caps and reports shard-level counters "
+        "(shard_count, peak_shard_load, bytes_exchanged) in the artifacts",
+    )
+    parser.add_argument(
         "--no-json", action="store_true", help="skip writing JSON artifacts"
     )
     parser.add_argument("--seed", type=int, default=None, help="override base seed")
@@ -107,6 +117,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 seed=args.seed,
                 warmup=args.warmup,
                 repeat=args.repeat,
+                backend=args.backend,
             )
         except Exception as exc:  # noqa: BLE001 - report every failing case
             failures.append((spec.name, exc))

@@ -1,4 +1,5 @@
-"""The sixteen experiments of the paper's evaluation, as registrations.
+"""The experiments of the paper's evaluation (plus library-level ones), as
+registrations.
 
 Importing this package populates the benchmark registry.  Each module
 holds one experiment (plus its companion sub-experiments, e.g. E5b) with
@@ -23,6 +24,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e14_ablation_growth,
     e15_ablation_walk_length,
     e16_gap_vs_diameter,
+    e17_backend_comparison,
 )
 
 __all__ = [
@@ -42,4 +44,5 @@ __all__ = [
     "e14_ablation_growth",
     "e15_ablation_walk_length",
     "e16_gap_vs_diameter",
+    "e17_backend_comparison",
 ]

@@ -23,10 +23,10 @@ GAP_BOUND = 0.25
 DEGREE = 6
 
 
-def _pipeline(workload: Workload, seed: int):
+def _pipeline(workload: Workload, seed: int, backend: str = "local"):
     graph = workload.build(seed)
     result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=GAP_BOUND, config=CONFIG, rng=seed
+        graph, spectral_gap_bound=GAP_BOUND, config=CONFIG, rng=seed, backend=backend
     )
     assert components_agree(result.labels, connected_components(graph))
     return result
@@ -61,9 +61,9 @@ def e01_rounds_vs_n(ctx):
     for n in sizes:
         workload = Workload("permutation_regular", n, {"degree": DEGREE})
         if n == sizes[-1]:
-            result = ctx.timeit("pipeline", _pipeline, workload, ctx.seed)
+            result = ctx.timeit("pipeline", _pipeline, workload, ctx.seed, ctx.backend)
         else:
-            result = _pipeline(workload, ctx.seed)
+            result = _pipeline(workload, ctx.seed, ctx.backend)
         ours[n] = result.rounds
         htm, mates[n] = _baselines(workload, ctx.seed)
         ctx.record(

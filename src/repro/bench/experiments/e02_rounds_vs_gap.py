@@ -17,20 +17,20 @@ from repro import theory
 from repro.bench.registry import register_benchmark
 from repro.bench.workloads import Workload
 from repro.graph import components_agree, connected_components, spectral_gap
-from repro.mpc import MPCEngine
+from repro.mpc import MPCEngine, make_backend
 
 DEGREE = 8
 
 
 def _run_one(workload: Workload, seed: int, max_walk_length: int,
-             engine_memory: int):
+             engine_memory: int, backend: str = "local"):
     graph = workload.build(seed)
     gap = spectral_gap(graph)
     config = repro.PipelineConfig(
         delta=0.5, expander_degree=4, max_walk_length=max_walk_length,
         oversample=6,
     )
-    engine = MPCEngine(engine_memory)
+    engine = MPCEngine(engine_memory, backend=make_backend(backend))
     result = repro.mpc_connected_components(
         graph, spectral_gap_bound=gap, config=config, rng=seed, engine=engine
     )
@@ -63,11 +63,12 @@ def e02_rounds_vs_gap(ctx):
             gap, result = ctx.timeit(
                 "pipeline", _run_one, workload, ctx.seed,
                 ctx.params["max_walk_length"], ctx.params["engine_memory"],
+                ctx.backend,
             )
         else:
             gap, result = _run_one(
                 workload, ctx.seed, ctx.params["max_walk_length"],
-                ctx.params["engine_memory"],
+                ctx.params["engine_memory"], ctx.backend,
             )
         gaps.append(gap)
         walks.append(result.walk_length)

@@ -32,7 +32,7 @@ def _build_mixed(params: dict, seed: int):
     return graph
 
 
-def _run_adaptive(params: dict, seed: int):
+def _run_adaptive(params: dict, seed: int, backend: str = "local"):
     graph = _build_mixed(params, seed)
     config = repro.PipelineConfig(
         delta=0.5, expander_degree=4,
@@ -40,7 +40,8 @@ def _run_adaptive(params: dict, seed: int):
         broadcast_budget=3,
     )
     result = repro.mpc_connected_components_adaptive(
-        graph, config=config, rng=seed, gap_exponent=params["gap_exponent"]
+        graph, config=config, rng=seed, backend=backend,
+        gap_exponent=params["gap_exponent"],
     )
     assert components_agree(result.labels, connected_components(graph))
     return graph, result
@@ -59,7 +60,7 @@ def _run_adaptive(params: dict, seed: int):
 )
 def e12_unknown_gap(ctx):
     graph, result = ctx.timeit("adaptive", _run_adaptive, ctx.params,
-                               ctx.seed)
+                               ctx.seed, ctx.backend)
 
     walk_lengths = []
     for i, it in enumerate(result.iterations, 1):

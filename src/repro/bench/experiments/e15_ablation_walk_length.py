@@ -16,15 +16,15 @@ import repro
 from repro.bench.registry import register_benchmark
 from repro.bench.workloads import Workload
 from repro.graph import components_agree, connected_components
-from repro.mpc import MPCEngine
+from repro.mpc import MPCEngine, make_backend
 
 BASE = repro.PipelineConfig(delta=0.5, expander_degree=4, oversample=6)
 
 
-def _run_one(workload: Workload, cap: int, seed: int):
+def _run_one(workload: Workload, cap: int, seed: int, backend: str = "local"):
     graph = workload.build(seed)
     config = BASE.with_overrides(max_walk_length=cap)
-    engine = MPCEngine(4096)
+    engine = MPCEngine(4096, backend=make_backend(backend))
     result = repro.mpc_connected_components(
         graph, 1e-4, config=config, rng=seed, engine=engine
     )
@@ -57,9 +57,10 @@ def e15_walk_length_ablation(ctx):
     broadcast_series = []
     for cap in ctx.params["caps"]:
         if cap == ctx.params["caps"][0]:
-            result = ctx.timeit("pipeline", _run_one, workload, cap, ctx.seed)
+            result = ctx.timeit("pipeline", _run_one, workload, cap, ctx.seed,
+                                ctx.backend)
         else:
-            result = _run_one(workload, cap, ctx.seed)
+            result = _run_one(workload, cap, ctx.seed, ctx.backend)
         broadcast_series.append(result.cc.broadcast_rounds)
         ctx.record(
             f"cap={cap}",

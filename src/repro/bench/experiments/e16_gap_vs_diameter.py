@@ -22,7 +22,7 @@ from repro.graph import (
     diameter,
     spectral_gap,
 )
-from repro.mpc import MPCEngine
+from repro.mpc import MPCEngine, make_backend
 
 
 def _instances(params: dict) -> "dict[str, Workload]":
@@ -43,7 +43,8 @@ def _instances(params: dict) -> "dict[str, Workload]":
     }
 
 
-def _run_both(workload: Workload, seed: int, max_walk_length: int):
+def _run_both(workload: Workload, seed: int, max_walk_length: int,
+              backend: str = "local"):
     graph = workload.build(seed)
     gap = spectral_gap(graph)
     diam = diameter(graph, rng=seed)
@@ -57,7 +58,7 @@ def _run_both(workload: Workload, seed: int, max_walk_length: int):
     assert components_agree(exp_result.labels, connected_components(graph))
     exp_rounds = engine.rounds
 
-    engine = MPCEngine(4096)
+    engine = MPCEngine(4096, backend=make_backend(backend))
     pipe_result = repro.mpc_connected_components(
         graph, gap, config=config, rng=seed, engine=engine
     )
@@ -90,11 +91,11 @@ def e16_gap_vs_diameter(ctx):
         if name == "dumbbell (λ tiny, D small)":
             gap, diam, phases, exp_rounds, pipe = ctx.timeit(
                 "both", _run_both, workload, ctx.seed,
-                ctx.params["max_walk_length"],
+                ctx.params["max_walk_length"], ctx.backend,
             )
         else:
             gap, diam, phases, exp_rounds, pipe = _run_both(
-                workload, ctx.seed, ctx.params["max_walk_length"]
+                workload, ctx.seed, ctx.params["max_walk_length"], ctx.backend
             )
         stats[name] = (gap, diam, phases, pipe.walk_length)
         ctx.record(

@@ -109,6 +109,8 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         "title": result.title,
         "suite": result.suite,
         "seed": result.seed,
+        # Optional on load (older artifacts predate execution backends).
+        "backend": result.backend,
         "git_sha": git_sha() if sha is None else sha,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -206,7 +208,17 @@ def compare_cases(
 
     old_records = {r["key"]: r for r in old["records"]}
     new_records = {r["key"]: r for r in new["records"]}
-    counter_suffixes = ("rounds", "machines", "phases", "iterations")
+    # "exchanges" also matches bytes_exchanged; shard occupancy counters are
+    # gated so a backend change that inflates communication fails --compare.
+    counter_suffixes = (
+        "rounds",
+        "machines",
+        "phases",
+        "iterations",
+        "exchanges",
+        "shard_count",
+        "shard_load",
+    )
 
     regressions, improvements, unchanged = [], [], []
     for key in sorted(old_records.keys() & new_records.keys()):

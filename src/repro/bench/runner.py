@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 
 from repro.bench.registry import BenchmarkSpec, get_benchmark
+from repro.mpc.backends import BACKENDS
 from repro.utils.rng import ensure_rng
 
 #: suite -> (warmup, repeat) for ``BenchContext.timeit`` kernels.  Smoke
@@ -61,6 +62,7 @@ class CaseResult:
     title: str
     suite: str
     seed: int
+    backend: str
     params: dict
     headers: "tuple[str, ...]"
     rows: "list[list]"
@@ -82,7 +84,13 @@ class CaseResult:
 
 
 class BenchContext:
-    """What an experiment function sees while it runs."""
+    """What an experiment function sees while it runs.
+
+    ``backend`` is the execution-backend name selected for this run
+    (``--backend`` on the CLI); experiments that execute the pipeline
+    thread it into ``mpc_connected_components(..., backend=ctx.backend)``
+    so one registered case can be measured on either data plane.
+    """
 
     def __init__(
         self,
@@ -91,10 +99,16 @@ class BenchContext:
         seed: int,
         warmup: int,
         repeat: int,
+        backend: str = "local",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+            )
         self.spec = spec
         self.suite = suite
         self.seed = int(seed)
+        self.backend = backend
         self.params = spec.params_for(suite)
         self.warmup = int(warmup)
         self.repeat = int(repeat)
@@ -181,6 +195,7 @@ def run_case(
     seed: "int | None" = None,
     warmup: "int | None" = None,
     repeat: "int | None" = None,
+    backend: str = "local",
 ) -> CaseResult:
     """Run one registered benchmark and return its :class:`CaseResult`."""
     spec = get_benchmark(name)
@@ -191,6 +206,7 @@ def run_case(
         seed=spec.params_for(suite).get("seed", 0) if seed is None else seed,
         warmup=default_warmup if warmup is None else warmup,
         repeat=default_repeat if repeat is None else repeat,
+        backend=backend,
     )
     start = time.perf_counter()
     spec.func(ctx)
@@ -200,6 +216,7 @@ def run_case(
         title=spec.title,
         suite=suite,
         seed=ctx.seed,
+        backend=ctx.backend,
         params=dict(ctx.params),
         headers=spec.headers,
         rows=ctx.rows,

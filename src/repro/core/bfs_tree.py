@@ -76,14 +76,21 @@ def broadcast_components(
     recv = np.concatenate([v, u])
     send = np.concatenate([u, v])
     eid = np.tile(np.arange(edges.shape[0], dtype=np.int64), 2)
+    backend = engine.backend if engine is not None else None
 
     rounds = 0
     while rounds < max_rounds:
         if stop_after is not None and rounds >= stop_after:
             break
-        incoming = labels[send]
-        new_labels = labels.copy()
-        np.minimum.at(new_labels, recv, incoming)
+        if backend is not None:
+            # One fused level on the data plane: edge copies read the
+            # sending endpoint's label locally and ship it to the
+            # receiving home (one exchange barrier per level).
+            new_labels, incoming = backend.min_label_exchange(labels, send, recv)
+        else:
+            incoming = labels[send]
+            new_labels = labels.copy()
+            np.minimum.at(new_labels, recv, incoming)
         improved = new_labels < labels
         if not improved.any():
             break

@@ -63,20 +63,30 @@ class GrowResult:
 
 
 def contract_batch(
-    labels: np.ndarray, batch: np.ndarray
+    labels: np.ndarray, batch: np.ndarray, backend=None
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Contraction graph of ``batch`` w.r.t. ``labels`` (Definition 2).
 
     Returns ``(edges, representative)``: deduplicated cross-component edges
     in component ids, and for each one the index of an original batch edge
     realising it (the certificate used for spanning trees).
+
+    With an :class:`~repro.mpc.backends.ExecutionBackend`, the endpoint
+    relabelling runs as one backend search and the dedup as one
+    reduce-by-key (min edge index per component pair — identical to the
+    ``np.unique`` first-occurrence semantics), so a sharded backend
+    enforces its caps and counts the communication.
     """
     labels = np.asarray(labels, dtype=np.int64)
     batch = np.asarray(batch, dtype=np.int64).reshape(-1, 2)
     if batch.shape[0] == 0:
         return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
-    cu = labels[batch[:, 0]]
-    cv = labels[batch[:, 1]]
+    if backend is not None:
+        endpoint_labels = backend.search(labels, batch.ravel()).reshape(-1, 2)
+        cu, cv = endpoint_labels[:, 0], endpoint_labels[:, 1]
+    else:
+        cu = labels[batch[:, 0]]
+        cv = labels[batch[:, 1]]
     cross = cu != cv
     idx = np.flatnonzero(cross)
     if idx.size == 0:
@@ -85,9 +95,13 @@ def contract_batch(
     b = np.maximum(cu[idx], cv[idx])
     k = int(labels.max()) + 1
     keys = a * k + b
-    _, first = np.unique(keys, return_index=True)
-    representative = idx[first]
-    edges = np.stack([a[first], b[first]], axis=1)
+    if backend is not None:
+        unique_keys, representative = backend.reduce_by_key(keys, idx, op="min")
+        edges = np.stack([unique_keys // k, unique_keys % k], axis=1)
+    else:
+        _, first = np.unique(keys, return_index=True)
+        representative = idx[first]
+        edges = np.stack([a[first], b[first]], axis=1)
     return edges, representative
 
 
@@ -118,15 +132,17 @@ def grow_components(
     labels = np.arange(n, dtype=np.int64)
     tree_parts: "list[np.ndarray]" = []
     telemetry: "list[PhaseTelemetry]" = []
+    backend = engine.backend if engine is not None else None
 
     for phase_index, (batch, growth) in enumerate(zip(batches, growth_schedule), 1):
         growth = check_positive_int(growth, "growth target")
         components_before = int(labels.max()) + 1
 
+        # Work first, charge second: the charge absorbs the backend
+        # exchanges the contraction just materialised.
+        edges, representative = contract_batch(labels, batch, backend=backend)
         if engine is not None:
             engine.charge_sort(batch.shape[0], label=f"contract phase {phase_index}")
-
-        edges, representative = contract_batch(labels, batch)
         k = components_before
         degrees = np.zeros(k, dtype=np.int64)
         if edges.shape[0]:
@@ -141,7 +157,10 @@ def grow_components(
         if matched.any():
             tree_parts.append(batch[representative[result.chosen_edge[matched]]])
 
-        new_labels = canonical_labels(groups[labels])
+        if backend is not None:
+            new_labels = canonical_labels(backend.search(groups, labels))
+        else:
+            new_labels = canonical_labels(groups[labels])
 
         if engine is not None:
             engine.charge_search(n, label=f"relabel phase {phase_index}")

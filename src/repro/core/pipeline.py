@@ -20,6 +20,13 @@ components and any extra work is visible in the round count.
 ``mpc_connected_components_adaptive`` implements Corollary 7.1: geometric
 gap guessing ``λ'_{j+1} = (λ'_j)^{1.1}`` with a growability check between
 iterations, for inputs whose spectral gap is unknown.
+
+Both entry points take a ``backend`` argument selecting the execution data
+plane (see :mod:`repro.mpc.backends`): ``"local"`` runs the historical
+accounting-only numpy path; ``"sharded"`` runs the same pipeline end to end
+on numpy shards with enforced per-shard memory and per-round communication
+caps, producing bit-identical labels plus shard-level resource counters in
+``engine.summary()["backend"]``.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.core.randomize import RandomizedGraph, randomize_components
 from repro.core.regularize import RegularizedGraph, regularize
 from repro.graph.components import canonical_labels
 from repro.graph.graph import Graph
+from repro.mpc.backends import ExecutionBackend, make_backend
 from repro.mpc.engine import MPCEngine
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_range
@@ -70,7 +78,7 @@ def _finalize_against_graph(
     Returns exact component labels and the number of broadcast rounds
     (0 when the pipeline's labels were already maximal).
     """
-    edges, _ = contract_batch(labels, graph.edges)
+    edges, _ = contract_batch(labels, graph.edges, backend=engine.backend)
     engine.charge_sort(graph.m, label="growability check")
     if edges.shape[0] == 0:
         return canonical_labels(labels), 0
@@ -86,6 +94,7 @@ def mpc_connected_components(
     config: "PipelineConfig | None" = None,
     rng=None,
     engine: "MPCEngine | None" = None,
+    backend: "str | ExecutionBackend | None" = None,
     walk_mode: str = "direct",
     finalize: bool = True,
 ) -> PipelineResult:
@@ -103,6 +112,13 @@ def mpc_connected_components(
     config, rng, engine:
         Tuning constants, randomness, and the accounting engine (a fresh
         ``MPCEngine.for_delta`` is created from ``config.delta`` if absent).
+    backend:
+        Execution backend for the data plane: ``"local"`` (accounting
+        only, the default), ``"sharded"`` (numpy shards with enforced
+        per-shard memory and per-round communication caps), or an
+        :class:`~repro.mpc.backends.ExecutionBackend` instance.  When an
+        ``engine`` is supplied its attached backend is used instead and
+        this argument must stay ``None``.
     walk_mode:
         Passed to the randomization step ("direct" or "layered").
     finalize:
@@ -115,7 +131,14 @@ def mpc_connected_components(
     )
     rng = ensure_rng(rng)
     if engine is None:
-        engine = MPCEngine.for_delta(max(graph.n + graph.m, 2), config.delta)
+        engine = MPCEngine.for_delta(
+            max(graph.n + graph.m, 2), config.delta, backend=make_backend(backend)
+        )
+    elif backend is not None:
+        raise ValueError(
+            "pass the backend through the engine when supplying one "
+            "(MPCEngine(..., backend=...))"
+        )
 
     if graph.m == 0:
         # Every vertex is isolated: nothing to do.
@@ -128,6 +151,10 @@ def mpc_connected_components(
             phase_count=0,
             verify_rounds=0,
         )
+
+    # Place the input on the data plane: a sharded backend checks the edge
+    # list fits its fleet before any stage runs (and counts the placement).
+    engine.backend.scatter(graph.edges)
 
     with engine.phase("Step1-Regularize"):
         reg = regularize(
@@ -208,6 +235,7 @@ def mpc_connected_components_adaptive(
     config: "PipelineConfig | None" = None,
     rng=None,
     engine: "MPCEngine | None" = None,
+    backend: "str | ExecutionBackend | None" = None,
     initial_gap: float = 0.5,
     gap_exponent: float = 1.1,
     min_gap: "float | None" = None,
@@ -225,7 +253,14 @@ def mpc_connected_components_adaptive(
     config = config or PipelineConfig()
     rng = ensure_rng(rng)
     if engine is None:
-        engine = MPCEngine.for_delta(max(graph.n + graph.m, 2), config.delta)
+        engine = MPCEngine.for_delta(
+            max(graph.n + graph.m, 2), config.delta, backend=make_backend(backend)
+        )
+    elif backend is not None:
+        raise ValueError(
+            "pass the backend through the engine when supplying one "
+            "(MPCEngine(..., backend=...))"
+        )
     if min_gap is None:
         min_gap = 1.0 / max(graph.n**2, 4)
 

@@ -75,7 +75,9 @@ def random_graph_components(
         if batches
         else np.empty((0, 2), dtype=np.int64)
     )
-    edges, representative = contract_batch(grow.labels, union)
+    edges, representative = contract_batch(
+        grow.labels, union, backend=engine.backend if engine is not None else None
+    )
     k = int(grow.labels.max()) + 1 if grow.labels.size else 0
 
     if engine is not None:

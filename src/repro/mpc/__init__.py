@@ -1,10 +1,20 @@
-"""MPC simulator: round accounting engine + faithful memory-capped executor."""
+"""MPC simulator: round accounting engine, pluggable execution backends,
+and the faithful memory-capped executor."""
 
 from repro.mpc.algorithms import (
     distributed_components,
     distributed_leader_election,
     distributed_min_label_round,
     scatter_graph_state,
+)
+from repro.mpc.backends import (
+    BACKENDS,
+    BackendStats,
+    ExecutionBackend,
+    LocalBackend,
+    ShardedArray,
+    ShardedBackend,
+    make_backend,
 )
 from repro.mpc.cluster import Cluster
 from repro.mpc.cost import MPCCostModel
@@ -20,6 +30,13 @@ __all__ = [
     "Machine",
     "MachineMemoryError",
     "Cluster",
+    "BACKENDS",
+    "BackendStats",
+    "ExecutionBackend",
+    "LocalBackend",
+    "ShardedArray",
+    "ShardedBackend",
+    "make_backend",
     "distributed_sort",
     "distributed_leader_election",
     "distributed_min_label_round",

@@ -17,6 +17,11 @@ Layout convention: vertex ``v``'s state lives on machine
 ``home(v) = v % machine_count``; each edge keeps a copy at both endpoint
 homes.  Both operations preserve that layout, so they compose round by
 round.
+
+The one-exchange-per-level property certified here is what
+:meth:`repro.mpc.backends.ShardedBackend.min_label_exchange` assumes when
+the pipeline's broadcast stage runs one fused shipment per level on the
+sharded data plane.
 """
 
 from __future__ import annotations

@@ -1,0 +1,514 @@
+"""Pluggable execution backends for the MPC subsystem.
+
+The :class:`~repro.mpc.engine.MPCEngine` is the *control plane*: it charges
+rounds for every primitive an algorithm would execute on a real cluster.
+An :class:`ExecutionBackend` is the *data plane* behind it — the thing that
+actually performs the sorts, searches, reductions, and label exchanges the
+charges describe.  Two implementations ship:
+
+* :class:`LocalBackend` — accounting-only.  Every operation is the plain
+  vectorised numpy the algorithms always ran; no partitioning, no caps, no
+  communication counters.  This is the historical behaviour and the zero-
+  overhead default.
+* :class:`ShardedBackend` — the scale substrate.  Data is kept as numpy
+  arrays partitioned into ``ceil(N/s)`` contiguous shards of at most ``s``
+  items (:class:`ShardedArray`); every operation enforces the per-shard
+  memory cap *and* the per-round communication cap of the
+  Beame–Koutris–Suciu model (raising
+  :class:`~repro.mpc.machine.MachineMemoryError` on violation), while
+  counting exchange barriers and bytes moved.  Sorting is argsort plus
+  shard-boundary splitters; search and reduce-by-key route by key home;
+  the min-label exchange is the fused one-shipment level of
+  :mod:`repro.mpc.algorithms`.
+
+Compared with :class:`~repro.mpc.cluster.Cluster` — the faithful per-item
+executor used by the primitive-level certification tests — a
+``ShardedBackend`` trades message-level fidelity for vectorised execution:
+it runs the *full pipeline* under enforced resource bounds on graphs that
+are orders of magnitude beyond what Python-list machines can hold, which is
+what the pipeline-level differential and certification suites exercise.
+
+Shard layout convention
+-----------------------
+Arrays live in *canonical layout*: the item at global position ``p``
+resides on shard ``p // s``.  Every operation consumes and produces
+canonical layout, so communication for an operation is exactly the set of
+items whose canonical position changes — measurable with one vectorised
+comparison.  One *exchange* is one all-to-all barrier (the unit the engine
+charges rounds for); ``bytes_exchanged`` sums the payload that actually
+crossed shard boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpc.machine import MachineMemoryError
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+#: Reduction operators supported by :meth:`ExecutionBackend.reduce_by_key`.
+_REDUCERS = {
+    "min": np.minimum,
+    "max": np.maximum,
+    "sum": np.add,
+}
+
+
+@dataclass
+class BackendStats:
+    """Resource counters of one backend over one algorithm execution.
+
+    ``shard_count`` is the *peak* fleet size observed (``ceil(N/s)`` over
+    the largest data volume seen); ``peak_shard_load`` the largest number
+    of items any single shard held; ``exchanges`` the number of all-to-all
+    barriers executed; ``bytes_exchanged`` the payload bytes that crossed
+    shard boundaries.  ``op_counts`` breaks executions down by operation
+    name.  All fields are zero for the accounting-only local backend.
+    """
+
+    name: str
+    shard_memory: "int | None" = None
+    max_shards: "int | None" = None
+    shard_count: int = 0
+    peak_shard_load: int = 0
+    exchanges: int = 0
+    bytes_exchanged: int = 0
+    op_counts: "dict[str, int]" = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Plain-dict form embedded in ``MPCEngine.summary()`` and the
+        ``BENCH_*.json`` artifacts."""
+        return {
+            "name": self.name,
+            "shard_memory": self.shard_memory,
+            "max_shards": self.max_shards,
+            "shard_count": self.shard_count,
+            "peak_shard_load": self.peak_shard_load,
+            "exchanges": self.exchanges,
+            "bytes_exchanged": self.bytes_exchanged,
+            "op_counts": dict(self.op_counts),
+        }
+
+
+class ShardedArray:
+    """A numpy array partitioned into contiguous shards of ``≤ s`` words.
+
+    The partition is positional (canonical layout) over the leading axis;
+    for multi-column arrays (e.g. ``(m, 2)`` edge lists) a row counts as
+    ``row_words`` words, so each shard holds at most
+    ``shard_memory // row_words`` rows and never exceeds the word cap.
+    The wrapper keeps the data as one contiguous buffer — shards are
+    views — so shard-local work stays vectorised while the shard structure
+    remains inspectable and enforceable.
+    """
+
+    def __init__(self, data: np.ndarray, shard_memory: int):
+        self.data = np.asarray(data)
+        self.shard_memory = check_positive_int(shard_memory, "shard_memory")
+        rows = int(self.data.shape[0])
+        self.row_words = int(self.data.size // rows) if rows else 1
+        self.rows_per_shard = max(1, self.shard_memory // self.row_words)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def shard_count(self) -> int:
+        return max(1, math.ceil(len(self) / self.rows_per_shard))
+
+    def shards(self) -> "list[np.ndarray]":
+        r = self.rows_per_shard
+        return [self.data[i * r : (i + 1) * r] for i in range(self.shard_count)]
+
+    def loads(self) -> "list[int]":
+        """Words held per shard."""
+        return [int(shard.shape[0]) * self.row_words for shard in self.shards()]
+
+    @property
+    def max_load(self) -> int:
+        return max(self.loads())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedArray(n={len(self)}, shards={self.shard_count}, "
+            f"s={self.shard_memory})"
+        )
+
+
+def _data(values) -> np.ndarray:
+    """Unwrap :class:`ShardedArray` or coerce to ``np.ndarray``."""
+    if isinstance(values, ShardedArray):
+        return values.data
+    return np.asarray(values)
+
+
+class ExecutionBackend:
+    """Protocol + shared bookkeeping for MPC data-plane backends.
+
+    Subclasses implement the five vectorised operations the pipeline
+    stages route their data movement through:
+
+    * :meth:`scatter` — place an array on the fleet;
+    * :meth:`sort` — global sort (argsort + shard-boundary splitters);
+    * :meth:`search` — annotate integer queries against a table
+      (Goodrich parallel search: the cost model prices it like a sort);
+    * :meth:`reduce_by_key` — group by key and fold (contractions,
+      tallies, dedup);
+    * :meth:`min_label_exchange` — one fused min-label broadcast level
+      (edge copies co-located with the sending endpoint, one shipment to
+      the receiving home — the layout of
+      :func:`repro.mpc.algorithms.distributed_min_label_round`).
+
+    The engine additionally calls :meth:`ensure_capacity` for every charge
+    it records, so resource bounds are enforced across the *whole*
+    pipeline, including stages whose data never materialises here.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._op_counts: "dict[str, int]" = {}
+        self._exchange_mark = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, machine_memory: int) -> None:
+        """Bind to an engine's machine memory (no-op unless needed)."""
+
+    def reset(self) -> None:
+        self._op_counts.clear()
+        self._exchange_mark = 0
+
+    # -- enforcement / accounting --------------------------------------------
+
+    def ensure_capacity(self, total_items: int) -> int:
+        """Check ``total_items`` fits the fleet; returns the shard count."""
+        return 1
+
+    def take_exchange_delta(self) -> int:
+        """Exchanges executed since the previous call (charge attribution)."""
+        return 0
+
+    def stats(self) -> BackendStats:
+        return BackendStats(name=self.name, op_counts=dict(self._op_counts))
+
+    def _count_op(self, op: str) -> None:
+        self._op_counts[op] = self._op_counts.get(op, 0) + 1
+
+    # -- operations (subclass responsibility) --------------------------------
+
+    def scatter(self, values):
+        raise NotImplementedError
+
+    def sort(self, values, order_by=None):
+        raise NotImplementedError
+
+    def search(self, table, queries):
+        raise NotImplementedError
+
+    def reduce_by_key(self, keys, values, op: str = "min"):
+        raise NotImplementedError
+
+    def min_label_exchange(self, labels, send, recv):
+        raise NotImplementedError
+
+
+class LocalBackend(ExecutionBackend):
+    """Accounting-only backend: plain vectorised numpy, no caps.
+
+    Each operation is byte-identical to the inline numpy the algorithms
+    executed before the backend layer existed, so results, RNG streams and
+    round charges are unchanged — the zero-regression default.
+    """
+
+    name = "local"
+
+    def scatter(self, values) -> np.ndarray:
+        self._count_op("scatter")
+        return _data(values)
+
+    def sort(self, values, order_by=None) -> np.ndarray:
+        self._count_op("sort")
+        values = _data(values)
+        if order_by is None:
+            return np.sort(values, kind="stable")
+        return values[np.argsort(_data(order_by), kind="stable")]
+
+    def search(self, table, queries) -> np.ndarray:
+        self._count_op("search")
+        return _data(table)[_data(queries)]
+
+    def reduce_by_key(self, keys, values, op: str = "min"):
+        self._count_op("reduce_by_key")
+        unique, reduced, _ = _grouped_reduce(_data(keys), _data(values), op)
+        return unique, reduced
+
+    def min_label_exchange(self, labels, send, recv):
+        self._count_op("min_label_exchange")
+        labels = _data(labels)
+        incoming = labels[_data(send)]
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, _data(recv), incoming)
+        return new_labels, incoming
+
+
+class ShardedBackend(ExecutionBackend):
+    """Vectorised sharded executor with enforced memory/communication caps.
+
+    Parameters
+    ----------
+    shard_memory:
+        The per-shard capacity ``s`` (words).  When ``None`` it is bound
+        to the owning engine's ``machine_memory`` at attach time, so the
+        enforced bound is exactly the bound the engine charges against.
+    max_shards:
+        Optional hard fleet size.  When set, any operation (or engine
+        charge) whose data volume needs more than ``max_shards`` shards
+        raises :class:`MachineMemoryError` — input exceeding
+        ``max_shards × shard_memory`` cannot be placed.  When ``None``
+        the fleet grows as ``ceil(N/s)``, the standard MPC regime where
+        the machine *count* is unbounded but each machine is small.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shard_memory: "int | None" = None,
+        *,
+        max_shards: "int | None" = None,
+    ):
+        super().__init__()
+        if shard_memory is not None:
+            shard_memory = check_positive_int(shard_memory, "shard_memory")
+        if max_shards is not None:
+            max_shards = check_positive_int(max_shards, "max_shards")
+        self.shard_memory = shard_memory
+        self.max_shards = max_shards
+        self.shard_count = 0
+        self.peak_shard_load = 0
+        self.exchanges = 0
+        self.bytes_exchanged = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, machine_memory: int) -> None:
+        if self.shard_memory is None:
+            self.shard_memory = check_positive_int(machine_memory, "machine_memory")
+
+    def reset(self) -> None:
+        super().reset()
+        self.shard_count = 0
+        self.peak_shard_load = 0
+        self.exchanges = 0
+        self.bytes_exchanged = 0
+
+    # -- enforcement / accounting --------------------------------------------
+
+    @property
+    def _s(self) -> int:
+        if self.shard_memory is None:
+            raise RuntimeError(
+                "ShardedBackend has no shard_memory; pass one or attach an engine"
+            )
+        return self.shard_memory
+
+    def shards_for(self, total_items: int) -> int:
+        """Shards needed for ``total_items`` in canonical layout."""
+        total_items = check_nonnegative_int(total_items, "total_items")
+        return max(1, math.ceil(total_items / self._s))
+
+    def ensure_capacity(self, total_items: int) -> int:
+        shards = self.shards_for(total_items)
+        if self.max_shards is not None and shards > self.max_shards:
+            raise MachineMemoryError(
+                f"{total_items} items need {shards} shards of {self._s} words; "
+                f"fleet is capped at {self.max_shards} "
+                f"(capacity {self.max_shards * self._s})"
+            )
+        self.shard_count = max(self.shard_count, shards)
+        self.peak_shard_load = max(
+            self.peak_shard_load, min(total_items, self._s)
+        )
+        return shards
+
+    def take_exchange_delta(self) -> int:
+        delta = self.exchanges - self._exchange_mark
+        self._exchange_mark = self.exchanges
+        return delta
+
+    def _exchange(self, shards: int, nbytes: int) -> None:
+        """Record one all-to-all barrier (single-shard ops are local)."""
+        if shards > 1:
+            self.exchanges += 1
+            self.bytes_exchanged += int(nbytes)
+
+    def stats(self) -> BackendStats:
+        return BackendStats(
+            name=self.name,
+            shard_memory=self.shard_memory,
+            max_shards=self.max_shards,
+            shard_count=self.shard_count,
+            peak_shard_load=self.peak_shard_load,
+            exchanges=self.exchanges,
+            bytes_exchanged=self.bytes_exchanged,
+            op_counts=dict(self._op_counts),
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def scatter(self, values) -> ShardedArray:
+        """Place ``values`` on the fleet in canonical layout (one barrier).
+
+        Capacity and payload are counted in *words*: a row of a
+        multi-column array (e.g. one edge of an ``(m, 2)`` list) is
+        ``row_words`` words, matching the model's accounting."""
+        self._count_op("scatter")
+        values = _data(values)
+        words = int(values.size)
+        shards = self.ensure_capacity(words)
+        self._exchange(shards, int(values.nbytes))
+        return ShardedArray(values, self._s)
+
+    def sort(self, values, order_by=None) -> np.ndarray:
+        """Global sort: argsort, then route item at rank ``r`` to shard
+        ``r // s``.  Each shard receives at most ``s`` items by
+        construction; the shard-boundary splitters (the sorted values at
+        positions ``s, 2s, …``) are broadcast so every shard can route
+        locally — their cost is counted into the same barrier."""
+        self._count_op("sort")
+        values = _data(values)
+        keys = values if order_by is None else _data(order_by)
+        n = int(values.shape[0])
+        shards = self.ensure_capacity(n)
+        order = np.argsort(keys, kind="stable")
+        out = values[order]
+        if shards > 1:
+            s = self._s
+            ranks = np.arange(n, dtype=np.int64)
+            moved = int(np.count_nonzero(order // s != ranks // s))
+            splitter_bytes = (shards - 1) * shards * out.itemsize
+            self._exchange(shards, moved * out.itemsize + splitter_bytes)
+        return out
+
+    def search(self, table, queries) -> np.ndarray:
+        """Parallel search: annotate integer ``queries`` with ``table``
+        entries.  Query at position ``p`` lives on shard ``p // s``; the
+        key it references lives on shard ``key // s`` — crossing pairs
+        ship the query over and the annotation back in one barrier (the
+        cost model prices search like sort, which covers the skew-free
+        routing Goodrich's construction guarantees)."""
+        self._count_op("search")
+        table = _data(table)
+        queries = _data(queries)
+        result = table[queries]
+        shards = self.ensure_capacity(int(table.shape[0]) + int(queries.shape[0]))
+        if shards > 1:
+            s = self._s
+            home = queries // s
+            origin = np.arange(queries.shape[0], dtype=np.int64) // s
+            crossing = int(np.count_nonzero(home != origin))
+            self._exchange(
+                shards, crossing * (queries.itemsize + result.itemsize)
+            )
+        return result
+
+    def reduce_by_key(self, keys, values, op: str = "min"):
+        """Group ``values`` by ``keys`` and fold with ``op``; returns the
+        sorted unique keys and one reduced value per key.  Routing is by
+        key rank (argsort); groups straddling a shard boundary combine
+        their partials in the same barrier (≤ 1 partial per boundary)."""
+        self._count_op("reduce_by_key")
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown reducer {op!r}; choose from {sorted(_REDUCERS)}")
+        keys = _data(keys)
+        values = _data(values)
+        n = int(keys.shape[0])
+        shards = self.ensure_capacity(n)
+        unique, reduced, order = _grouped_reduce(keys, values, op)
+        if shards > 1 and order is not None:
+            s = self._s
+            ranks = np.arange(n, dtype=np.int64)
+            moved = int(np.count_nonzero(order // s != ranks // s))
+            partial_bytes = (shards - 1) * (keys.itemsize + values.itemsize)
+            self._exchange(shards, moved * keys.itemsize + partial_bytes)
+        return unique, reduced
+
+    def min_label_exchange(self, labels, send, recv):
+        """One min-label broadcast level: each edge copy reads its sending
+        endpoint's label locally (co-located, as in
+        :func:`repro.mpc.algorithms.distributed_min_label_round`) and ships
+        it to the receiving endpoint's home — one barrier, payload = the
+        incidences whose endpoints live on different shards."""
+        self._count_op("min_label_exchange")
+        labels = _data(labels)
+        send = _data(send)
+        recv = _data(recv)
+        incoming = labels[send]
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, recv, incoming)
+        shards = self.ensure_capacity(int(labels.shape[0]) + int(send.shape[0]))
+        if shards > 1:
+            s = self._s
+            crossing = int(np.count_nonzero(send // s != recv // s))
+            self._exchange(shards, crossing * incoming.itemsize)
+        return new_labels, incoming
+
+
+def _grouped_reduce(keys: np.ndarray, values: np.ndarray, op: str):
+    """Shared compute kernel: sorted unique keys + per-group fold.
+
+    Stable argsort keeps equal keys in input order, so ``op="min"`` over
+    ascending index values reproduces ``np.unique(keys, return_index=True)``
+    exactly — the contraction dedup relies on that.  Also returns the sort
+    permutation (``None`` for empty input) so callers accounting for data
+    movement don't argsort twice.
+    """
+    if op not in _REDUCERS:
+        raise ValueError(f"unknown reducer {op!r}; choose from {sorted(_REDUCERS)}")
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if keys.shape[0] != values.shape[0]:
+        raise ValueError(
+            f"keys and values must align: {keys.shape[0]} vs {values.shape[0]}"
+        )
+    if keys.shape[0] == 0:
+        return keys.copy(), values.copy(), None
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    starts = np.empty(sorted_keys.shape[0], dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
+    boundaries = np.flatnonzero(starts)
+    reduced = _REDUCERS[op].reduceat(sorted_values, boundaries)
+    return sorted_keys[boundaries], reduced, order
+
+
+#: Registry for CLI/pipeline string selection.
+BACKENDS = {
+    "local": LocalBackend,
+    "sharded": ShardedBackend,
+}
+
+
+def make_backend(spec, **kwargs) -> "ExecutionBackend | None":
+    """Resolve a backend spec: ``None`` (caller default), a name from
+    :data:`BACKENDS`, or an :class:`ExecutionBackend` instance."""
+    if spec is None:
+        return None
+    if isinstance(spec, ExecutionBackend):
+        if kwargs:
+            raise ValueError("cannot pass options with a backend instance")
+        return spec
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec](**kwargs)
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: {sorted(BACKENDS)}"
+            ) from None
+    raise TypeError(f"backend must be None, a name, or an ExecutionBackend: {spec!r}")

@@ -13,6 +13,14 @@ Algorithms meant for production use charge an :class:`~repro.mpc.engine.MPCEngin
 instead (vectorised, unbounded scale); the tests run the same primitive
 logic on a ``Cluster`` to certify the round counts charged there are
 achievable under real memory limits.
+
+For *pipeline-scale* certification, see
+:class:`~repro.mpc.backends.ShardedBackend`: it enforces the same
+per-shard memory and per-round communication caps over partitioned numpy
+arrays, trading this executor's message-level fidelity for vectorised
+execution at sizes Python-list machines cannot hold.  The per-round
+``messages_exchanged`` counter here mirrors the backend's
+``bytes_exchanged`` so both layers report comparable communication.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ class Cluster:
         self.machines = [Machine(i, memory) for i in range(machine_count)]
         self.memory = memory
         self.rounds_executed = 0
+        self.messages_exchanged = 0
 
     @property
     def machine_count(self) -> int:
@@ -92,10 +101,12 @@ class Cluster:
             outboxes.append(messages)
 
         inboxes: list[list[Any]] = [[] for _ in self.machines]
-        for messages in outboxes:
+        for machine, messages in zip(self.machines, outboxes):
             for dest, payload in messages:
                 if not 0 <= dest < self.machine_count:
                     raise ValueError(f"bad destination machine {dest}")
+                if dest != machine.machine_id:
+                    self.messages_exchanged += 1
                 inboxes[dest].append(payload)
 
         for machine, inbox in zip(self.machines, inboxes):

@@ -6,11 +6,19 @@ searches, shuffles, broadcasts.  The engine is the experiment's measuring
 device — benches report ``engine.rounds`` (the quantity bounded by the
 paper's theorems) alongside the predicted values.
 
-The local computation itself runs as vectorised numpy: the MPC model places
-no bound on per-machine computation, only on memory and communication, so
-simulating machine-local work faithfully is unnecessary for round counts.
-What *is* tracked is the peak number of machines needed
-(``total data / machine memory``), which the theorems also bound.
+The engine is the control plane; the data plane behind it is a pluggable
+:class:`~repro.mpc.backends.ExecutionBackend`.  With the default
+:class:`~repro.mpc.backends.LocalBackend`, local computation runs as plain
+vectorised numpy — the MPC model places no bound on per-machine
+computation, only on memory and communication, so simulating machine-local
+work faithfully is unnecessary for round counts.  What *is* tracked is the
+peak number of machines needed (``total data / machine memory``), which the
+theorems also bound.  With a
+:class:`~repro.mpc.backends.ShardedBackend`, the same charges additionally
+*enforce* the fleet's capacity (every charge's data volume is checked
+against the shard caps) and every charge records the materialised exchange
+barriers executed since the previous charge, so pipeline-level tests can
+certify the charged round counts are achievable.
 
 Use :class:`repro.mpc.cluster.Cluster` for the faithful small-scale executor
 that actually moves key-value pairs between memory-capped machines (the
@@ -23,19 +31,26 @@ import math
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.mpc.backends import ExecutionBackend, LocalBackend
 from repro.mpc.cost import MPCCostModel
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 
 @dataclass
 class RoundCharge:
-    """One accounting entry."""
+    """One accounting entry.
+
+    ``exchanges`` counts the backend exchange barriers materialised since
+    the previous charge — i.e. the real communication this charge pays
+    for.  Always 0 on the accounting-only local backend.
+    """
 
     label: str
     kind: str
     rounds: int
     items: int = 0
     phase: str = ""
+    exchanges: int = 0
 
 
 @dataclass
@@ -43,10 +58,16 @@ class PhaseSummary:
     name: str
     rounds: int
     charges: int
+    exchanges: int = 0
 
     def to_json(self) -> dict:
         """Plain-dict form for the ``BENCH_*.json`` artifacts."""
-        return {"name": self.name, "rounds": self.rounds, "charges": self.charges}
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "charges": self.charges,
+            "exchanges": self.exchanges,
+        }
 
 
 class MPCEngine:
@@ -57,10 +78,18 @@ class MPCEngine:
     machine_memory:
         The paper's ``s``.  Convenience constructors :meth:`for_delta`
         derive it as ``ceil(N^δ)``.
+    backend:
+        The :class:`~repro.mpc.backends.ExecutionBackend` executing the
+        data plane (default: a fresh accounting-only
+        :class:`~repro.mpc.backends.LocalBackend`).  A
+        :class:`~repro.mpc.backends.ShardedBackend` without an explicit
+        ``shard_memory`` is bound to ``machine_memory`` on attach.
     """
 
-    def __init__(self, machine_memory: int):
+    def __init__(self, machine_memory: int, backend: "ExecutionBackend | None" = None):
         self.cost = MPCCostModel(machine_memory)
+        self.backend = backend if backend is not None else LocalBackend()
+        self.backend.attach(self.cost.machine_memory)
         self._charges: list[RoundCharge] = []
         self._phase_stack: list[str] = []
         self._peak_items = 0
@@ -69,7 +98,12 @@ class MPCEngine:
 
     @classmethod
     def for_delta(
-        cls, total_items: int, delta: float, *, polylog_exponent: int = 2
+        cls,
+        total_items: int,
+        delta: float,
+        *,
+        polylog_exponent: int = 2,
+        backend: "ExecutionBackend | None" = None,
     ) -> "MPCEngine":
         """Engine with ``s = ceil(N^δ · log^2 N)`` — the paper's standing
         parameter choice: Theorem 1 runs on machines with
@@ -82,7 +116,7 @@ class MPCEngine:
             raise ValueError(f"delta must be in (0, 1], got {delta}")
         polylog = max(1.0, math.log2(max(total_items, 2))) ** polylog_exponent
         memory = max(2, math.ceil(total_items**delta * polylog))
-        return cls(memory)
+        return cls(memory, backend=backend)
 
     # -- properties ------------------------------------------------------------
 
@@ -113,10 +147,22 @@ class MPCEngine:
     def _add(self, label: str, kind: str, rounds: int, items: int = 0) -> None:
         rounds = check_nonnegative_int(rounds, "rounds")
         items = check_nonnegative_int(items, "items")
+        # The backend enforces fleet capacity for every charged data volume
+        # (MachineMemoryError when a sharded fleet is capped) and attributes
+        # the exchange barriers it materialised since the previous charge.
+        exchanges = self.backend.take_exchange_delta()
+        self.backend.ensure_capacity(items)
         self._peak_items = max(self._peak_items, items)
         phase = self._phase_stack[-1] if self._phase_stack else ""
         self._charges.append(
-            RoundCharge(label=label, kind=kind, rounds=rounds, items=items, phase=phase)
+            RoundCharge(
+                label=label,
+                kind=kind,
+                rounds=rounds,
+                items=items,
+                phase=phase,
+                exchanges=exchanges,
+            )
         )
 
     def charge_rounds(self, rounds: int, label: str = "custom") -> None:
@@ -137,7 +183,9 @@ class MPCEngine:
 
     def note_data_volume(self, total_items: int) -> None:
         """Record a data volume without charging rounds (memory accounting)."""
-        self._peak_items = max(self._peak_items, check_nonnegative_int(total_items, "items"))
+        total_items = check_nonnegative_int(total_items, "items")
+        self.backend.ensure_capacity(total_items)
+        self._peak_items = max(self._peak_items, total_items)
 
     # -- phases -----------------------------------------------------------------
 
@@ -158,12 +206,18 @@ class MPCEngine:
         for charge in self._charges:
             top = charge.phase.split("/")[0] if charge.phase else "(none)"
             if top not in totals:
-                totals[top] = [0, 0]
+                totals[top] = [0, 0, 0]
                 order.append(top)
             totals[top][0] += charge.rounds
             totals[top][1] += 1
+            totals[top][2] += charge.exchanges
         return [
-            PhaseSummary(name=name, rounds=totals[name][0], charges=totals[name][1])
+            PhaseSummary(
+                name=name,
+                rounds=totals[name][0],
+                charges=totals[name][1],
+                exchanges=totals[name][2],
+            )
             for name in order
         ]
 
@@ -173,7 +227,8 @@ class MPCEngine:
         ``phases`` keeps the historical name → rounds mapping;
         ``phase_breakdown`` carries the full per-phase records (rounds and
         charge counts, in first-charge order) that the benchmark artifacts
-        embed.
+        embed; ``backend`` carries the data-plane counters (shard count,
+        peak shard load, exchanges, bytes) of the attached backend.
         """
         return {
             "machine_memory": self.machine_memory,
@@ -182,12 +237,14 @@ class MPCEngine:
             "peak_machines": self.peak_machines,
             "phases": {p.name: p.rounds for p in self.phase_summaries()},
             "phase_breakdown": [p.to_json() for p in self.phase_summaries()],
+            "backend": self.backend.stats().to_json(),
         }
 
     def reset(self) -> None:
         self._charges.clear()
         self._phase_stack.clear()
         self._peak_items = 0
+        self.backend.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

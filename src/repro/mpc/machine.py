@@ -10,7 +10,12 @@ from repro.utils.validation import check_positive_int
 class MachineMemoryError(RuntimeError):
     """Raised when a machine would exceed its memory, or when a round's
     send/receive volume exceeds the per-round communication limit (which the
-    MPC model ties to the memory size)."""
+    MPC model ties to the memory size).
+
+    Shared by both enforcement layers: the per-item :class:`Machine` /
+    :class:`~repro.mpc.cluster.Cluster` executor and the vectorised
+    :class:`~repro.mpc.backends.ShardedBackend` (whose capped fleets raise
+    it when data cannot be placed within ``max_shards × shard_memory``)."""
 
 
 class Machine:

@@ -14,6 +14,13 @@ The production algorithms charge these costs on an
 :class:`~repro.mpc.engine.MPCEngine`; the versions here exist so the tests
 can certify that each charged primitive actually executes within the
 declared number of rounds under hard memory limits.
+
+Each primitive has a vectorised counterpart on
+:class:`~repro.mpc.backends.ShardedBackend` (``sort``, ``search``,
+``reduce_by_key``) that runs the same operation over partitioned numpy
+arrays with the same caps enforced — that is the layer the full pipeline
+executes on; ``tests/test_mpc_cluster.py`` certifies the two against each
+other.
 """
 
 from __future__ import annotations
