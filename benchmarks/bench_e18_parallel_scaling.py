@@ -1,0 +1,12 @@
+"""E18 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e18
+--backend process --workers 4``.  The case itself always exercises the
+``ProcessBackend`` (sweeping its worker pool against the local and
+sharded references), so it ignores ``BENCH_BACKEND``; set
+``BENCH_WORKERS=N`` to sweep ``{1, N}`` instead of the tier default.
+"""
+
+
+def test_e18_parallel_scaling(bench_case):
+    bench_case("e18_parallel_scaling")

@@ -3,12 +3,17 @@
 Builds a sparse graph whose components are expanders (the paper's headline
 workload), runs the MPC pipeline with a spectral-gap bound, and checks the
 answer against a sequential reference — printing the round budget the
-pipeline consumed per phase.
+pipeline consumed per phase.  A second pass demonstrates execution-backend
+selection end to end: the same pipeline on the enforced ``sharded`` data
+plane and the true-parallel ``process`` pool, with bit-identical labels
+and round counts (see ``docs/backends.md``).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 import repro
 from repro.graph import components_agree, connected_components
@@ -48,6 +53,21 @@ def main(scale: str = "default") -> dict:
     print(f"  {'TOTAL':<24} {result.rounds:>4} rounds")
 
     assert exact, "pipeline output must match the sequential reference"
+
+    print("\n== Execution backends (same pipeline, different data plane) ==")
+    for backend in ("sharded", "process"):
+        run = repro.mpc_connected_components(
+            graph, spectral_gap_bound=gap_bound, config=config, rng=seed,
+            backend=backend,
+        )
+        stats = run.engine.summary()["backend"]
+        assert np.array_equal(run.labels, result.labels), backend
+        assert run.rounds == result.rounds, backend
+        extra = f", workers={stats['workers']}" if backend == "process" else ""
+        print(f"  {backend:<8} labels identical, {run.rounds} rounds, "
+              f"{stats['shard_count']} shards, "
+              f"{stats['exchanges']} exchanges{extra}")
+
     return {"rounds": result.rounds, "components": result.component_count}
 
 

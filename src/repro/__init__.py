@@ -14,9 +14,12 @@ Public API highlights
   with mildly sublinear memory, via AGM sketching.
 * :mod:`repro.mpc` — the round-accounting MPC simulator, with pluggable
   execution backends (:mod:`repro.mpc.backends`): the accounting-only
-  ``LocalBackend`` and the ``ShardedBackend`` that runs the data plane on
-  numpy shards with enforced memory/communication caps
-  (``mpc_connected_components(..., backend="sharded")``).
+  ``LocalBackend``, the ``ShardedBackend`` that runs the data plane on
+  numpy shards with enforced memory/communication caps, and the
+  true-parallel ``ProcessBackend`` that executes the same sharded kernels
+  on a pool of worker processes over shared memory
+  (``mpc_connected_components(..., backend="local"|"sharded"|"process")``
+  — bit-identical labels and round counts on all three).
 * :mod:`repro.graph` — multigraphs, generators, spectra, walks.
 * :mod:`repro.products` / :mod:`repro.sketch` / :mod:`repro.baselines` /
   :mod:`repro.lower_bound` — the substrates (expander products, linear

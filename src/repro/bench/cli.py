@@ -53,13 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("local", "sharded"),
+        choices=("local", "sharded", "process"),
         default="local",
         help="execution backend for pipeline experiments: 'local' charges "
         "rounds on plain vectorised numpy (default); 'sharded' runs the "
         "data plane on numpy shards with enforced per-shard memory and "
         "per-round communication caps and reports shard-level counters "
-        "(shard_count, peak_shard_load, bytes_exchanged) in the artifacts",
+        "(shard_count, peak_shard_load, bytes_exchanged) in the artifacts; "
+        "'process' runs the same sharded kernels on a pool of worker "
+        "processes over shared memory (true wall-clock parallelism, "
+        "bit-identical labels and counters)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process pool size for the 'process' backend "
+        "(default: min(4, usable CPUs); e18 sweeps {1, N} when given)",
     )
     parser.add_argument(
         "--no-json", action="store_true", help="skip writing JSON artifacts"
@@ -118,6 +129,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 warmup=args.warmup,
                 repeat=args.repeat,
                 backend=args.backend,
+                workers=args.workers,
             )
         except Exception as exc:  # noqa: BLE001 - report every failing case
             failures.append((spec.name, exc))

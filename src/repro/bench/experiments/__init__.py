@@ -25,6 +25,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e15_ablation_walk_length,
     e16_gap_vs_diameter,
     e17_backend_comparison,
+    e18_parallel_scaling,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "e15_ablation_walk_length",
     "e16_gap_vs_diameter",
     "e17_backend_comparison",
+    "e18_parallel_scaling",
 ]

@@ -1,0 +1,190 @@
+"""E18 — parallel scaling of the true-parallel ``ProcessBackend``.
+
+The Theorem 4 pipeline runs on the :class:`~repro.mpc.ProcessBackend`
+with an increasing worker-process pool, timing each configuration against
+the single-worker baseline and differential-checking every run against
+the ``LocalBackend`` and ``ShardedBackend`` references.  Expected shape:
+
+* labels and round counts bit-identical to both reference backends for
+  every worker count (the kernels are exact, not approximate);
+* shard/communication counters (``exchanges``, ``bytes_exchanged``,
+  ``shard_count``, ``peak_shard_load``) identical to the serial sharded
+  backend — the pool changes wall-clock, never the model accounting;
+* wall-time speedup over ``workers=1`` that grows with the pool on
+  multi-core hosts.  The ``min_speedup`` shape check (1.5× in the full
+  tier) is enforced only when the host exposes at least two usable CPUs —
+  on a single-core machine process parallelism cannot beat its own
+  dispatch overhead and the speedup is recorded without gating.
+
+This case always exercises the process backend regardless of
+``--backend`` (that flag steers the single-backend pipeline cases);
+``--workers N`` changes the sweep to ``{1, N}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import Workload
+from repro.graph import components_agree, connected_components
+from repro.mpc import LocalBackend, MPCEngine, ProcessBackend, ShardedBackend
+from repro.mpc.process_backend import usable_cpu_count
+
+DEGREE = 6
+GAP_BOUND = 0.25
+DELTA = 0.3
+
+
+def _config(params: dict) -> "repro.PipelineConfig":
+    return repro.PipelineConfig(
+        delta=DELTA,
+        expander_degree=4,
+        max_walk_length=params["max_walk_length"],
+        oversample=params["oversample"],
+        max_phases=params["max_phases"],
+    )
+
+
+def _run(graph, seed: int, config, backend):
+    """One pipeline execution on ``backend`` with a fresh engine.
+
+    The backend is reset first so repeated timing runs do not accumulate
+    exchange/byte counters.
+    """
+    backend.reset()
+    engine = MPCEngine.for_delta(
+        max(graph.n + graph.m, 2), DELTA, backend=backend
+    )
+    result = repro.mpc_connected_components(
+        graph, spectral_gap_bound=GAP_BOUND, config=config, rng=seed, engine=engine
+    )
+    return result, engine
+
+
+@register_benchmark(
+    "e18_parallel_scaling",
+    title="Process backend: wall-time scaling vs worker count",
+    headers=["n", "workers", "seconds", "speedup", "rounds", "shards",
+             "exchanges"],
+    smoke={
+        "n": 4096,
+        "workers": [1, 2],
+        "seed": 11,
+        "max_walk_length": 64,
+        "oversample": 6,
+        "max_phases": 4,
+        "min_speedup": 0.0,
+    },
+    full={
+        "n": 100000,
+        "workers": [1, 2, 4],
+        "seed": 11,
+        "max_walk_length": 32,
+        "oversample": 4,
+        "max_phases": 2,
+        "min_speedup": 1.5,
+    },
+    notes=(
+        "Expected shape: labels, rounds, and shard counters bit-identical "
+        "to the local and sharded references at every worker count; "
+        "speedup over workers=1 grows with the pool on multi-core hosts "
+        "(the min_speedup gate is skipped on single-CPU machines, where "
+        "process parallelism cannot win by construction)."
+    ),
+    tags=("pipeline", "backends", "scaling"),
+)
+def e18_parallel_scaling(ctx):
+    config = _config(ctx.params)
+    n = ctx.params["n"]
+    graph = Workload("permutation_regular", n, {"degree": DEGREE}).build(ctx.seed)
+    truth = connected_components(graph)
+
+    local_result, _ = _run(graph, ctx.seed, config, LocalBackend())
+    sharded_backend = ShardedBackend()
+    sharded_result, sharded_engine = _run(graph, ctx.seed, config, sharded_backend)
+    reference = sharded_backend.stats()
+    ctx.check(
+        "reference-backends-agree",
+        np.array_equal(local_result.labels, sharded_result.labels)
+        and local_result.rounds == sharded_result.rounds,
+    )
+
+    workers_sweep = sorted({1, ctx.workers}) if ctx.workers else ctx.params["workers"]
+    cpus = usable_cpu_count()
+    ctx.note(f"host exposes {cpus} usable CPU(s); sweep: workers={workers_sweep}")
+
+    baseline_seconds = None
+    best_speedup = 0.0
+    for workers in workers_sweep:
+        backend = ProcessBackend(workers=workers, min_parallel_items=0)
+        try:
+            result, engine = ctx.timeit(
+                f"pipeline-w{workers}", _run, graph, ctx.seed, config, backend
+            )
+            seconds = ctx.timings[-1].best
+            stats = backend.stats()
+
+            ctx.check(
+                f"labels-identical-w{workers}",
+                np.array_equal(result.labels, local_result.labels)
+                and np.array_equal(result.labels, sharded_result.labels),
+                "process labels must be bit-identical to both references",
+            )
+            ctx.check(
+                f"labels-correct-w{workers}",
+                components_agree(result.labels, truth),
+            )
+            ctx.check(
+                f"rounds-identical-w{workers}",
+                result.rounds == sharded_result.rounds,
+                f"{result.rounds} vs {sharded_result.rounds}",
+            )
+            ctx.check(
+                f"counters-match-sharded-w{workers}",
+                (stats.exchanges, stats.bytes_exchanged, stats.shard_count,
+                 stats.peak_shard_load)
+                == (reference.exchanges, reference.bytes_exchanged,
+                    reference.shard_count, reference.peak_shard_load),
+                "worker pools must not change the model accounting",
+            )
+
+            if baseline_seconds is None:
+                baseline_seconds = seconds
+            speedup = baseline_seconds / seconds if seconds > 0 else 0.0
+            if workers > 1:
+                best_speedup = max(best_speedup, speedup)
+
+            ctx.record(
+                f"workers={workers}",
+                row=[n, workers, f"{seconds:.3f}", f"{speedup:.2f}x",
+                     result.rounds, stats.shard_count, stats.exchanges],
+                n=n,
+                workers=workers,
+                seconds=seconds,
+                speedup_vs_one_worker=speedup,
+                pipeline_rounds=result.rounds,
+                shard_count=stats.shard_count,
+                peak_shard_load=stats.peak_shard_load,
+                exchanges=stats.exchanges,
+                bytes_exchanged=stats.bytes_exchanged,
+                engine=ctx.account(engine),
+            )
+        finally:
+            backend.close()
+
+    min_speedup = ctx.params["min_speedup"]
+    if min_speedup > 0 and max(workers_sweep) > 1 and cpus >= 2:
+        ctx.check(
+            f"speedup-at-least-{min_speedup}x",
+            best_speedup > min_speedup,
+            f"best speedup {best_speedup:.2f}x over workers=1",
+        )
+    else:
+        ctx.note(
+            f"best speedup over workers=1: {best_speedup:.2f}x "
+            "(gate skipped: "
+            + ("single-CPU host" if cpus < 2 else "record-only tier")
+            + ")"
+        )

@@ -111,6 +111,9 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         "seed": result.seed,
         # Optional on load (older artifacts predate execution backends).
         "backend": result.backend,
+        # Optional on load (older artifacts predate the process backend);
+        # null unless --workers was passed.
+        "workers": result.workers,
         "git_sha": git_sha() if sha is None else sha,
         "created_unix": time.time(),
         "python": platform.python_version(),

@@ -13,7 +13,8 @@ import time
 from dataclasses import dataclass
 
 from repro.bench.registry import BenchmarkSpec, get_benchmark
-from repro.mpc.backends import BACKENDS
+from repro.mpc.backends import backend_names
+from repro.mpc.process_backend import default_workers
 from repro.utils.rng import ensure_rng
 
 #: suite -> (warmup, repeat) for ``BenchContext.timeit`` kernels.  Smoke
@@ -63,6 +64,7 @@ class CaseResult:
     suite: str
     seed: int
     backend: str
+    workers: "int | None"
     params: dict
     headers: "tuple[str, ...]"
     rows: "list[list]"
@@ -89,7 +91,9 @@ class BenchContext:
     ``backend`` is the execution-backend name selected for this run
     (``--backend`` on the CLI); experiments that execute the pipeline
     thread it into ``mpc_connected_components(..., backend=ctx.backend)``
-    so one registered case can be measured on either data plane.
+    so one registered case can be measured on any data plane.  ``workers``
+    is the ``--workers`` pool-size override for the ``process`` backend
+    (``None`` means each experiment picks its own default).
     """
 
     def __init__(
@@ -100,15 +104,19 @@ class BenchContext:
         warmup: int,
         repeat: int,
         backend: str = "local",
+        workers: "int | None" = None,
     ):
-        if backend not in BACKENDS:
+        if backend not in backend_names():
             raise ValueError(
-                f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+                f"unknown backend {backend!r}; available: {backend_names()}"
             )
+        if workers is not None and int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.spec = spec
         self.suite = suite
         self.seed = int(seed)
         self.backend = backend
+        self.workers = None if workers is None else int(workers)
         self.params = spec.params_for(suite)
         self.warmup = int(warmup)
         self.repeat = int(repeat)
@@ -196,8 +204,30 @@ def run_case(
     warmup: "int | None" = None,
     repeat: "int | None" = None,
     backend: str = "local",
+    workers: "int | None" = None,
 ) -> CaseResult:
-    """Run one registered benchmark and return its :class:`CaseResult`."""
+    """Run one registered benchmark and return its :class:`CaseResult`.
+
+    Parameters
+    ----------
+    name:
+        A registered benchmark name (see :func:`repro.bench.iter_benchmarks`).
+    suite:
+        Parameter tier, ``"smoke"`` or ``"full"``.
+    seed, warmup, repeat:
+        Overrides for the suite's base seed and kernel timing policy.
+    backend:
+        Execution-backend name threaded into the experiment context.
+    workers:
+        Optional ``process``-backend pool size (the ``--workers`` flag).
+
+    Raises
+    ------
+    KeyError
+        ``name`` is not a registered benchmark.
+    ValueError
+        Unknown backend name or non-positive ``workers``.
+    """
     spec = get_benchmark(name)
     default_warmup, default_repeat = DEFAULT_TIMING.get(suite, (0, 1))
     ctx = BenchContext(
@@ -207,9 +237,13 @@ def run_case(
         warmup=default_warmup if warmup is None else warmup,
         repeat=default_repeat if repeat is None else repeat,
         backend=backend,
+        workers=workers,
     )
     start = time.perf_counter()
-    spec.func(ctx)
+    # Scope the --workers override so every process backend the experiment
+    # constructs by name (including inside the pipeline) honours it.
+    with default_workers(ctx.workers):
+        spec.func(ctx)
     total = time.perf_counter() - start
     return CaseResult(
         name=spec.name,
@@ -217,6 +251,7 @@ def run_case(
         suite=suite,
         seed=ctx.seed,
         backend=ctx.backend,
+        workers=ctx.workers,
         params=dict(ctx.params),
         headers=spec.headers,
         rows=ctx.rows,

@@ -31,6 +31,7 @@ from repro.utils.validation import check_positive_int
 
 
 def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
     return x >= 1 and (x & (x - 1)) == 0
 
 
@@ -56,19 +57,23 @@ class SampledLayeredGraph:
 
     @property
     def copies(self) -> int:
+        """Copies per base vertex within one layer (``2t``)."""
         return 2 * self.t
 
     @property
     def layer_size(self) -> int:
+        """Layered vertices per layer (``n · copies``)."""
         return self.n * self.copies
 
     @property
     def vertex_count(self) -> int:
+        """Total layered vertices (``layer_size · (t + 1)``)."""
         return self.layer_size * (self.t + 1)
 
     # -- index helpers -----------------------------------------------------
 
     def index(self, v: np.ndarray, copy: np.ndarray, layer: np.ndarray) -> np.ndarray:
+        """Flattened index of layered vertex ``(v, copy, layer)``."""
         return (
             np.asarray(layer, dtype=np.int64) * self.layer_size
             + np.asarray(copy, dtype=np.int64) * self.n
@@ -80,6 +85,7 @@ class SampledLayeredGraph:
         return np.asarray(idx, dtype=np.int64) % self.n
 
     def layer_of(self, idx: np.ndarray) -> np.ndarray:
+        """Layer number of a flattened layered-vertex index."""
         return np.asarray(idx, dtype=np.int64) // self.layer_size
 
     def distinguished_starts(self) -> np.ndarray:
@@ -140,6 +146,7 @@ class JumpTables:
 
     @property
     def doubling_steps(self) -> int:
+        """Pointer-doubling iterations performed (``log2 t``)."""
         return len(self.tables) - 1
 
 

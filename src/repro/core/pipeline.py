@@ -26,7 +26,11 @@ plane (see :mod:`repro.mpc.backends`): ``"local"`` runs the historical
 accounting-only numpy path; ``"sharded"`` runs the same pipeline end to end
 on numpy shards with enforced per-shard memory and per-round communication
 caps, producing bit-identical labels plus shard-level resource counters in
-``engine.summary()["backend"]``.
+``engine.summary()["backend"]``; ``"process"`` executes those sharded
+kernels on a pool of OS worker processes over shared memory
+(:class:`~repro.mpc.process_backend.ProcessBackend`) — bit-identical
+labels, rounds, and counters, with real wall-clock parallelism on
+multi-core hosts.
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ class PipelineResult:
 
     @property
     def component_count(self) -> int:
+        """Number of components in the returned labelling."""
         return int(self.labels.max()) + 1 if self.labels.size else 0
 
 
@@ -115,10 +120,11 @@ def mpc_connected_components(
     backend:
         Execution backend for the data plane: ``"local"`` (accounting
         only, the default), ``"sharded"`` (numpy shards with enforced
-        per-shard memory and per-round communication caps), or an
+        per-shard memory and per-round communication caps), ``"process"``
+        (the sharded kernels on a worker-process pool), or an
         :class:`~repro.mpc.backends.ExecutionBackend` instance.  When an
         ``engine`` is supplied its attached backend is used instead and
-        this argument must stay ``None``.
+        this argument must stay ``None`` (:class:`ValueError` otherwise).
     walk_mode:
         Passed to the randomization step ("direct" or "layered").
     finalize:
@@ -130,6 +136,11 @@ def mpc_connected_components(
         spectral_gap_bound, "spectral_gap_bound", 1e-12, 2.0
     )
     rng = ensure_rng(rng)
+    # When the engine (and therefore its backend) is built here from a
+    # string spec, this call owns it and must release any external
+    # resources (e.g. a ProcessBackend's worker pool) before returning;
+    # counters stay readable and a closed backend restarts on demand.
+    owns_backend = engine is None and not isinstance(backend, ExecutionBackend)
     if engine is None:
         engine = MPCEngine.for_delta(
             max(graph.n + graph.m, 2), config.delta, backend=make_backend(backend)
@@ -139,7 +150,27 @@ def mpc_connected_components(
             "pass the backend through the engine when supplying one "
             "(MPCEngine(..., backend=...))"
         )
+    try:
+        return _run_stages(
+            graph, spectral_gap_bound, config, rng, engine,
+            walk_mode=walk_mode, finalize=finalize,
+        )
+    finally:
+        if owns_backend:
+            engine.backend.close()
 
+
+def _run_stages(
+    graph: Graph,
+    spectral_gap_bound: float,
+    config: PipelineConfig,
+    rng,
+    engine: MPCEngine,
+    *,
+    walk_mode: str,
+    finalize: bool,
+) -> PipelineResult:
+    """The three Theorem 4 stages plus verification, on a ready engine."""
     if graph.m == 0:
         # Every vertex is isolated: nothing to do.
         labels = np.arange(graph.n, dtype=np.int64)
@@ -223,6 +254,11 @@ class AdaptiveIteration:
 
 @dataclass(frozen=True)
 class AdaptiveResult:
+    """Outcome of the Corollary 7.1 adaptive pipeline: exact component
+    ``labels``, total ``rounds``, the accounting ``engine``, and per-guess
+    ``iterations`` telemetry.
+    """
+
     labels: np.ndarray
     rounds: int
     engine: MPCEngine
@@ -252,6 +288,7 @@ def mpc_connected_components_adaptive(
     """
     config = config or PipelineConfig()
     rng = ensure_rng(rng)
+    owns_backend = engine is None and not isinstance(backend, ExecutionBackend)
     if engine is None:
         engine = MPCEngine.for_delta(
             max(graph.n + graph.m, 2), config.delta, backend=make_backend(backend)
@@ -321,9 +358,15 @@ def mpc_connected_components_adaptive(
         )
         gap_guess = gap_guess**gap_exponent
 
-    return AdaptiveResult(
+    result = AdaptiveResult(
         labels=canonical_labels(final_labels),
         rounds=engine.rounds,
         engine=engine,
         iterations=iterations,
     )
+    # Release an internally constructed backend's external resources (the
+    # per-guess runs above passed the engine, so they did not close it);
+    # on the exception path the backend's finalizer covers cleanup.
+    if owns_backend:
+        engine.backend.close()
+    return result

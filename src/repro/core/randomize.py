@@ -50,6 +50,7 @@ class RandomizedGraph:
 
     @property
     def batch_count(self) -> int:
+        """Number of independent per-phase edge batches."""
         return len(self.batches)
 
 

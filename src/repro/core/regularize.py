@@ -52,6 +52,7 @@ class RegularizedGraph:
 
     @property
     def regular_degree(self) -> int:
+        """Uniform degree of the replacement product (cloud degree + 1)."""
         return self.product.cloud_degree + 1
 
     def lift_labels(self, product_labels: np.ndarray) -> np.ndarray:

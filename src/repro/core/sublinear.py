@@ -53,6 +53,7 @@ class SublinearConnResult:
 
     @property
     def component_count(self) -> int:
+        """Number of components in the returned labelling."""
         return int(self.labels.max()) + 1 if self.labels.size else 0
 
 

@@ -37,6 +37,7 @@ from repro.utils.validation import check_positive_int
 
 
 def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (``x`` must be positive)."""
     x = check_positive_int(x, "x")
     return 1 << (x - 1).bit_length()
 

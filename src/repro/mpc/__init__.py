@@ -1,5 +1,14 @@
 """MPC simulator: round accounting engine, pluggable execution backends,
-and the faithful memory-capped executor."""
+and the faithful memory-capped executor.
+
+Three execution backends ship (see :mod:`repro.mpc.backends`): the
+accounting-only :class:`LocalBackend`, the enforced serial
+:class:`ShardedBackend`, and the true-parallel :class:`ProcessBackend`
+(:mod:`repro.mpc.process_backend`), which runs the same sharded kernels
+on a pool of OS worker processes over shared memory.  Select one with
+``mpc_connected_components(..., backend="local" | "sharded" | "process")``
+or construct it directly and pass it to :class:`MPCEngine`.
+"""
 
 from repro.mpc.algorithms import (
     distributed_components,
@@ -14,6 +23,7 @@ from repro.mpc.backends import (
     LocalBackend,
     ShardedArray,
     ShardedBackend,
+    backend_names,
     make_backend,
 )
 from repro.mpc.cluster import Cluster
@@ -21,6 +31,12 @@ from repro.mpc.cost import MPCCostModel
 from repro.mpc.engine import MPCEngine, PhaseSummary, RoundCharge
 from repro.mpc.machine import Machine, MachineMemoryError
 from repro.mpc.primitives import distributed_search, distributed_sort, reduce_by_key
+from repro.mpc.process_backend import (
+    ProcessBackend,
+    default_worker_count,
+    default_workers,
+    usable_cpu_count,
+)
 
 __all__ = [
     "MPCCostModel",
@@ -34,9 +50,14 @@ __all__ = [
     "BackendStats",
     "ExecutionBackend",
     "LocalBackend",
+    "ProcessBackend",
     "ShardedArray",
     "ShardedBackend",
+    "backend_names",
+    "default_worker_count",
+    "default_workers",
     "make_backend",
+    "usable_cpu_count",
     "distributed_sort",
     "distributed_leader_election",
     "distributed_min_label_round",

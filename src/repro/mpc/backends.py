@@ -4,7 +4,7 @@ The :class:`~repro.mpc.engine.MPCEngine` is the *control plane*: it charges
 rounds for every primitive an algorithm would execute on a real cluster.
 An :class:`ExecutionBackend` is the *data plane* behind it — the thing that
 actually performs the sorts, searches, reductions, and label exchanges the
-charges describe.  Two implementations ship:
+charges describe.  Three implementations ship:
 
 * :class:`LocalBackend` — accounting-only.  Every operation is the plain
   vectorised numpy the algorithms always ran; no partitioning, no caps, no
@@ -20,6 +20,20 @@ charges describe.  Two implementations ship:
   shard-boundary splitters; search and reduce-by-key route by key home;
   the min-label exchange is the fused one-shipment level of
   :mod:`repro.mpc.algorithms`.
+* :class:`~repro.mpc.process_backend.ProcessBackend` — the true-parallel
+  executor: the same accounting and enforcement as :class:`ShardedBackend`
+  (it subclasses it), but the compute kernels run on a pool of worker
+  processes over ``multiprocessing.shared_memory`` views, each worker
+  owning ``ceil(shard_count / workers)`` shards.  Selected with
+  ``backend="process"`` (registered when :mod:`repro.mpc` imports the
+  module).
+
+The split between *accounting* and *compute* is explicit in the code:
+every public :class:`ShardedBackend` operation performs capacity checks
+and exchange/byte counting itself and delegates the pure computation to a
+``_kernel_*`` hook.  Subclasses that override only the hooks (such as
+``ProcessBackend``) are therefore counter-identical to ``ShardedBackend``
+by construction, which is what the differential suite asserts.
 
 Compared with :class:`~repro.mpc.cluster.Cluster` — the faithful per-item
 executor used by the primitive-level certification tests — a
@@ -67,6 +81,9 @@ class BackendStats:
     barriers executed; ``bytes_exchanged`` the payload bytes that crossed
     shard boundaries.  ``op_counts`` breaks executions down by operation
     name.  All fields are zero for the accounting-only local backend.
+    ``workers`` is the OS-process pool size of a
+    :class:`~repro.mpc.process_backend.ProcessBackend` (``None`` for the
+    in-process backends).
     """
 
     name: str
@@ -77,10 +94,12 @@ class BackendStats:
     exchanges: int = 0
     bytes_exchanged: int = 0
     op_counts: "dict[str, int]" = field(default_factory=dict)
+    workers: "int | None" = None
 
     def to_json(self) -> dict:
         """Plain-dict form embedded in ``MPCEngine.summary()`` and the
-        ``BENCH_*.json`` artifacts."""
+        ``BENCH_*.json`` artifacts.
+        """
         return {
             "name": self.name,
             "shard_memory": self.shard_memory,
@@ -90,6 +109,7 @@ class BackendStats:
             "exchanges": self.exchanges,
             "bytes_exchanged": self.bytes_exchanged,
             "op_counts": dict(self.op_counts),
+            "workers": self.workers,
         }
 
 
@@ -117,9 +137,11 @@ class ShardedArray:
 
     @property
     def shard_count(self) -> int:
+        """Number of shards in the canonical partition (at least 1)."""
         return max(1, math.ceil(len(self) / self.rows_per_shard))
 
     def shards(self) -> "list[np.ndarray]":
+        """The per-shard views, in canonical order (zero-copy)."""
         r = self.rows_per_shard
         return [self.data[i * r : (i + 1) * r] for i in range(self.shard_count)]
 
@@ -129,6 +151,7 @@ class ShardedArray:
 
     @property
     def max_load(self) -> int:
+        """Words held by the fullest shard."""
         return max(self.loads())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -179,8 +202,18 @@ class ExecutionBackend:
         """Bind to an engine's machine memory (no-op unless needed)."""
 
     def reset(self) -> None:
+        """Clear all counters (heavy resources like pools may survive)."""
         self._op_counts.clear()
         self._exchange_mark = 0
+
+    def close(self) -> None:
+        """Release external resources (processes, files); no-op here.
+
+        Counters stay readable after closing, and implementations restart
+        their resources on demand, so a closed backend remains usable.
+        The pipeline closes backends it constructed itself from a string
+        spec; callers who pass an instance own its lifetime.
+        """
 
     # -- enforcement / accounting --------------------------------------------
 
@@ -193,6 +226,7 @@ class ExecutionBackend:
         return 0
 
     def stats(self) -> BackendStats:
+        """Snapshot of this backend's resource counters."""
         return BackendStats(name=self.name, op_counts=dict(self._op_counts))
 
     def _count_op(self, op: str) -> None:
@@ -201,18 +235,29 @@ class ExecutionBackend:
     # -- operations (subclass responsibility) --------------------------------
 
     def scatter(self, values):
+        """Place ``values`` on the fleet; returns the backend's handle."""
         raise NotImplementedError
 
     def sort(self, values, order_by=None):
+        """Globally stable-sort ``values`` (by ``order_by`` when given)."""
         raise NotImplementedError
 
     def search(self, table, queries):
+        """Annotate integer ``queries`` with ``table`` entries
+        (``table[queries]``).
+        """
         raise NotImplementedError
 
     def reduce_by_key(self, keys, values, op: str = "min"):
+        """Group ``values`` by ``keys`` and fold with ``op``; returns
+        ``(sorted_unique_keys, reduced)``.
+        """
         raise NotImplementedError
 
     def min_label_exchange(self, labels, send, recv):
+        """One fused min-label broadcast level; returns
+        ``(new_labels, incoming)``.
+        """
         raise NotImplementedError
 
 
@@ -227,10 +272,12 @@ class LocalBackend(ExecutionBackend):
     name = "local"
 
     def scatter(self, values) -> np.ndarray:
+        """Return ``values`` as a plain array (no partitioning)."""
         self._count_op("scatter")
         return _data(values)
 
     def sort(self, values, order_by=None) -> np.ndarray:
+        """Stable numpy sort (argsort by ``order_by`` when given)."""
         self._count_op("sort")
         values = _data(values)
         if order_by is None:
@@ -238,15 +285,25 @@ class LocalBackend(ExecutionBackend):
         return values[np.argsort(_data(order_by), kind="stable")]
 
     def search(self, table, queries) -> np.ndarray:
+        """Plain gather: ``table[queries]``."""
         self._count_op("search")
         return _data(table)[_data(queries)]
 
     def reduce_by_key(self, keys, values, op: str = "min"):
+        """Grouped fold via :func:`_grouped_reduce`; returns
+        ``(sorted_unique_keys, reduced)``.
+
+        Raises :class:`ValueError` for unknown ``op`` or misaligned
+        shapes.
+        """
         self._count_op("reduce_by_key")
         unique, reduced, _ = _grouped_reduce(_data(keys), _data(values), op)
         return unique, reduced
 
     def min_label_exchange(self, labels, send, recv):
+        """One min-label level: ``incoming = labels[send]`` folded onto
+        ``labels[recv]`` by elementwise minimum.
+        """
         self._count_op("min_label_exchange")
         labels = _data(labels)
         incoming = labels[_data(send)]
@@ -296,10 +353,12 @@ class ShardedBackend(ExecutionBackend):
     # -- lifecycle -----------------------------------------------------------
 
     def attach(self, machine_memory: int) -> None:
+        """Adopt the engine's machine memory as ``s`` when unset."""
         if self.shard_memory is None:
             self.shard_memory = check_positive_int(machine_memory, "machine_memory")
 
     def reset(self) -> None:
+        """Clear the shard/communication counters."""
         super().reset()
         self.shard_count = 0
         self.peak_shard_load = 0
@@ -322,6 +381,15 @@ class ShardedBackend(ExecutionBackend):
         return max(1, math.ceil(total_items / self._s))
 
     def ensure_capacity(self, total_items: int) -> int:
+        """Check ``total_items`` fits the fleet and update peak counters.
+
+        Raises
+        ------
+        MachineMemoryError
+            When ``max_shards`` is set and ``total_items`` needs more
+            than ``max_shards × shard_memory`` words — the input cannot
+            be placed on the capped fleet.
+        """
         shards = self.shards_for(total_items)
         if self.max_shards is not None and shards > self.max_shards:
             raise MachineMemoryError(
@@ -336,6 +404,7 @@ class ShardedBackend(ExecutionBackend):
         return shards
 
     def take_exchange_delta(self) -> int:
+        """Exchanges since the previous call (engine charge attribution)."""
         delta = self.exchanges - self._exchange_mark
         self._exchange_mark = self.exchanges
         return delta
@@ -347,6 +416,7 @@ class ShardedBackend(ExecutionBackend):
             self.bytes_exchanged += int(nbytes)
 
     def stats(self) -> BackendStats:
+        """Snapshot the shard/communication counters (see :class:`BackendStats`)."""
         return BackendStats(
             name=self.name,
             shard_memory=self.shard_memory,
@@ -357,6 +427,37 @@ class ShardedBackend(ExecutionBackend):
             bytes_exchanged=self.bytes_exchanged,
             op_counts=dict(self._op_counts),
         )
+
+    # -- compute kernels (overridable; accounting stays in the public ops) ----
+
+    def _kernel_sort(self, values: np.ndarray, keys: np.ndarray):
+        """Stable sort kernel: return ``(values[order], order)`` for the
+        stable argsort ``order`` of ``keys``.
+        """
+        order = np.argsort(keys, kind="stable")
+        return values[order], order
+
+    def _kernel_search(self, table: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Gather kernel: return ``table[queries]``."""
+        return table[queries]
+
+    def _kernel_reduce(self, keys: np.ndarray, values: np.ndarray, op: str):
+        """Grouped-reduce kernel: ``(unique_keys, reduced, order)`` exactly
+        as :func:`_grouped_reduce` computes them.
+        """
+        return _grouped_reduce(keys, values, op)
+
+    def _kernel_min_label(
+        self, labels: np.ndarray, send: np.ndarray, recv: np.ndarray
+    ):
+        """Min-label kernel: ``(new_labels, incoming)`` with
+        ``incoming = labels[send]`` scattered by elementwise minimum onto
+        ``new_labels[recv]``.
+        """
+        incoming = labels[send]
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, recv, incoming)
+        return new_labels, incoming
 
     # -- operations ----------------------------------------------------------
 
@@ -384,8 +485,7 @@ class ShardedBackend(ExecutionBackend):
         keys = values if order_by is None else _data(order_by)
         n = int(values.shape[0])
         shards = self.ensure_capacity(n)
-        order = np.argsort(keys, kind="stable")
-        out = values[order]
+        out, order = self._kernel_sort(values, keys)
         if shards > 1:
             s = self._s
             ranks = np.arange(n, dtype=np.int64)
@@ -404,8 +504,10 @@ class ShardedBackend(ExecutionBackend):
         self._count_op("search")
         table = _data(table)
         queries = _data(queries)
-        result = table[queries]
+        # Capacity check first: a capped fleet must reject oversized input
+        # before any (potentially pooled) compute runs.
         shards = self.ensure_capacity(int(table.shape[0]) + int(queries.shape[0]))
+        result = self._kernel_search(table, queries)
         if shards > 1:
             s = self._s
             home = queries // s
@@ -428,7 +530,7 @@ class ShardedBackend(ExecutionBackend):
         values = _data(values)
         n = int(keys.shape[0])
         shards = self.ensure_capacity(n)
-        unique, reduced, order = _grouped_reduce(keys, values, op)
+        unique, reduced, order = self._kernel_reduce(keys, values, op)
         if shards > 1 and order is not None:
             s = self._s
             ranks = np.arange(n, dtype=np.int64)
@@ -447,10 +549,9 @@ class ShardedBackend(ExecutionBackend):
         labels = _data(labels)
         send = _data(send)
         recv = _data(recv)
-        incoming = labels[send]
-        new_labels = labels.copy()
-        np.minimum.at(new_labels, recv, incoming)
+        # Capacity check first (see search()).
         shards = self.ensure_capacity(int(labels.shape[0]) + int(send.shape[0]))
+        new_labels, incoming = self._kernel_min_label(labels, send, recv)
         if shards > 1:
             s = self._s
             crossing = int(np.count_nonzero(send // s != recv // s))
@@ -488,16 +589,42 @@ def _grouped_reduce(keys: np.ndarray, values: np.ndarray, op: str):
     return sorted_keys[boundaries], reduced, order
 
 
-#: Registry for CLI/pipeline string selection.
+#: Registry for CLI/pipeline string selection.  ``"process"`` is added by
+#: :mod:`repro.mpc.process_backend` at import time — and since importing
+#: *this* module always executes the :mod:`repro.mpc` package ``__init__``
+#: first (which imports ``process_backend``), every import path sees the
+#: full registry.
 BACKENDS = {
     "local": LocalBackend,
     "sharded": ShardedBackend,
 }
 
 
+def backend_names() -> "list[str]":
+    """All selectable backend names, sorted."""
+    return sorted(BACKENDS)
+
+
 def make_backend(spec, **kwargs) -> "ExecutionBackend | None":
-    """Resolve a backend spec: ``None`` (caller default), a name from
-    :data:`BACKENDS`, or an :class:`ExecutionBackend` instance."""
+    """Resolve a backend spec into an instance.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` (caller default, returned as-is), a name from
+        :data:`BACKENDS` (``"local"``, ``"sharded"``, ``"process"``), or an
+        :class:`ExecutionBackend` instance (returned unchanged).
+    **kwargs:
+        Constructor options for a named backend (e.g. ``workers=4`` for
+        ``"process"``).  Rejected when ``spec`` is already an instance.
+
+    Raises
+    ------
+    ValueError
+        Unknown name, or options passed alongside an instance.
+    TypeError
+        ``spec`` is neither ``None``, a string, nor a backend instance.
+    """
     if spec is None:
         return None
     if isinstance(spec, ExecutionBackend):
@@ -509,6 +636,6 @@ def make_backend(spec, **kwargs) -> "ExecutionBackend | None":
             return BACKENDS[spec](**kwargs)
         except KeyError:
             raise ValueError(
-                f"unknown backend {spec!r}; available: {sorted(BACKENDS)}"
+                f"unknown backend {spec!r}; available: {backend_names()}"
             ) from None
     raise TypeError(f"backend must be None, a name, or an ExecutionBackend: {spec!r}")

@@ -47,10 +47,12 @@ class Cluster:
 
     @property
     def machine_count(self) -> int:
+        """Number of machines in the fleet."""
         return len(self.machines)
 
     @property
     def total_capacity(self) -> int:
+        """Total words the fleet can hold (``machines × memory``)."""
         return self.machine_count * self.memory
 
     # -- data placement ---------------------------------------------------------
@@ -74,6 +76,7 @@ class Cluster:
         return out
 
     def loads(self) -> "list[int]":
+        """Items held per machine, in machine-id order."""
         return [m.load for m in self.machines]
 
     # -- round execution ----------------------------------------------------------

@@ -14,11 +14,14 @@ computation, only on memory and communication, so simulating machine-local
 work faithfully is unnecessary for round counts.  What *is* tracked is the
 peak number of machines needed (``total data / machine memory``), which the
 theorems also bound.  With a
-:class:`~repro.mpc.backends.ShardedBackend`, the same charges additionally
-*enforce* the fleet's capacity (every charge's data volume is checked
-against the shard caps) and every charge records the materialised exchange
-barriers executed since the previous charge, so pipeline-level tests can
-certify the charged round counts are achievable.
+:class:`~repro.mpc.backends.ShardedBackend` (or its true-parallel
+subclass :class:`~repro.mpc.process_backend.ProcessBackend`), the same
+charges additionally *enforce* the fleet's capacity (every charge's data
+volume is checked against the shard caps, raising
+:class:`~repro.mpc.machine.MachineMemoryError` on a capped fleet) and
+every charge records the materialised exchange barriers executed since
+the previous charge, so pipeline-level tests can certify the charged
+round counts are achievable.
 
 Use :class:`repro.mpc.cluster.Cluster` for the faithful small-scale executor
 that actually moves key-value pairs between memory-capped machines (the
@@ -55,6 +58,10 @@ class RoundCharge:
 
 @dataclass
 class PhaseSummary:
+    """Aggregated charges of one top-level phase: total ``rounds``,
+    number of ``charges``, and the backend ``exchanges`` they covered.
+    """
+
     name: str
     rounds: int
     charges: int
@@ -122,6 +129,7 @@ class MPCEngine:
 
     @property
     def machine_memory(self) -> int:
+        """The model's per-machine memory ``s`` (words)."""
         return self.cost.machine_memory
 
     @property
@@ -131,6 +139,7 @@ class MPCEngine:
 
     @property
     def charges(self) -> "list[RoundCharge]":
+        """A copy of every accounting entry, in charge order."""
         return list(self._charges)
 
     @property
@@ -140,6 +149,7 @@ class MPCEngine:
 
     @property
     def peak_machines(self) -> int:
+        """Machines needed for the peak volume (``ceil(peak_items / s)``)."""
         return self.cost.machines_for(self._peak_items)
 
     # -- charging ---------------------------------------------------------------
@@ -170,15 +180,19 @@ class MPCEngine:
         self._add(label, "explicit", rounds)
 
     def charge_sort(self, total_items: int, label: str = "sort") -> None:
+        """Charge one Goodrich sort of ``total_items`` words."""
         self._add(label, "sort", self.cost.sort_rounds(total_items), total_items)
 
     def charge_search(self, total_items: int, label: str = "search") -> None:
+        """Charge one parallel search over ``total_items`` words."""
         self._add(label, "search", self.cost.search_rounds(total_items), total_items)
 
     def charge_shuffle(self, total_items: int = 0, label: str = "shuffle") -> None:
+        """Charge one all-to-all shuffle (O(1) rounds in the model)."""
         self._add(label, "shuffle", self.cost.shuffle_rounds(), total_items)
 
     def charge_broadcast(self, total_items: int, label: str = "broadcast") -> None:
+        """Charge one broadcast tree over ``total_items`` words."""
         self._add(label, "broadcast", self.cost.broadcast_rounds(total_items), total_items)
 
     def note_data_volume(self, total_items: int) -> None:
@@ -241,6 +255,7 @@ class MPCEngine:
         }
 
     def reset(self) -> None:
+        """Clear charges, phases, peaks, and the backend's counters."""
         self._charges.clear()
         self._phase_stack.clear()
         self._peak_items = 0

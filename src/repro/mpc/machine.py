@@ -28,17 +28,21 @@ class Machine:
 
     @property
     def items(self) -> "list[Any]":
+        """The stored items (live list — inspection only)."""
         return self._items
 
     @property
     def load(self) -> int:
+        """Words currently stored."""
         return len(self._items)
 
     @property
     def free(self) -> int:
+        """Words of remaining capacity."""
         return self.memory - self.load
 
     def store(self, item: Any) -> None:
+        """Store one item; raises :class:`MachineMemoryError` when full."""
         if self.load + 1 > self.memory:
             raise MachineMemoryError(
                 f"machine {self.machine_id} over memory: {self.load + 1} > {self.memory}"
@@ -46,6 +50,9 @@ class Machine:
         self._items.append(item)
 
     def store_many(self, items: Iterable[Any]) -> None:
+        """Store several items; raises :class:`MachineMemoryError` if the
+        batch would exceed this machine's memory (nothing is stored then).
+        """
         items = list(items)
         if self.load + len(items) > self.memory:
             raise MachineMemoryError(

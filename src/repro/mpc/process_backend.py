@@ -1,0 +1,679 @@
+"""True-parallel MPC data plane: a pool of OS worker processes.
+
+:class:`ProcessBackend` is the first executor that makes the reproduction
+faster on real hardware rather than only cheaper in accounted rounds.  It
+subclasses :class:`~repro.mpc.backends.ShardedBackend` and overrides *only*
+the compute kernels, so capacity enforcement
+(:class:`~repro.mpc.machine.MachineMemoryError` semantics), exchange
+attribution, and every counter reported in ``engine.summary()["backend"]``
+are shared code — counter-identical to the sharded backend by
+construction, which the differential suite asserts.
+
+Execution model
+---------------
+The pool holds ``workers`` long-lived OS processes (stdlib
+``multiprocessing``; no third-party dependencies).  Arrays travel through
+``multiprocessing.shared_memory`` blocks and are read in the workers as
+zero-copy numpy views; only tiny command descriptors (shared-memory names,
+shapes, dtypes, splitters, block bounds) cross the command pipes.
+
+Work is partitioned along the same canonical shard layout the
+:class:`~repro.mpc.backends.ShardedBackend` accounts for: with
+``shard_count`` shards of ``s`` words, each worker owns
+``ceil(shard_count / workers)`` consecutive shards and executes its part
+of every operation locally.  Synchronisation is one explicit exchange
+barrier per operation — the parent dispatches one command per worker and
+waits for all replies — and the only data that conceptually moves at the
+barrier is what the sharded accounting already prices: the splitters that
+delimit each worker's key range and the records migrating to the shards
+that own them in the output layout.
+
+Per-operation partitioning:
+
+* ``search`` — query positions are split into shard-aligned blocks; each
+  worker gathers ``table[queries[lo:hi]]`` for its block.
+* ``sort`` / ``reduce_by_key`` — sample sort: the parent draws a
+  deterministic sample of the keys and broadcasts ``W - 1`` splitters;
+  worker ``w`` selects the keys in its splitter range, stable-sorts them
+  locally (original positions ascending break ties, so the concatenation
+  of the buckets *is* the global stable argsort, bit for bit), and writes
+  the result directly into its slice of the output block.  Reduce-by-key
+  additionally folds each group locally — key ranges are disjoint across
+  workers, so no combine step is needed.
+* ``min_label_exchange`` — the label space is split into shard-aligned
+  ranges; each worker owns the labels of its range and applies
+  ``minimum.at`` for exactly the incidences whose receiving endpoint
+  lives there (min is commutative, associative, and idempotent, so any
+  partition gives the serial result exactly).  Each worker selects its
+  range by scanning the full incidence arrays — deliberately redundant:
+  the vectorised compares are cheap, while the scalar ``minimum.at``
+  scatter they feed is the expensive part the partition divides, and a
+  parent-side pre-bucketing argsort would serialise more work than the
+  redundant scans cost.
+
+Determinism
+-----------
+Every kernel is bit-identical to the serial
+:class:`~repro.mpc.backends.ShardedBackend` kernels — the pipeline's
+labels, round counts, and RNG streams do not depend on the worker count.
+Inputs the range partition cannot handle exactly (non-finite floats,
+object dtypes, 0-d edge cases) fall back to the serial kernels, as do
+operations below ``min_parallel_items`` words, where process dispatch
+overhead would dominate.
+
+Lifecycle
+---------
+Workers start lazily on the first parallel kernel and are reused across
+operations, engines, and :meth:`reset` calls.  Call :meth:`close` (or use
+the backend as a context manager) to stop the pool; a finalizer and
+daemonised workers guarantee nothing outlives the interpreter either way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import multiprocessing
+import os
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.mpc.backends import BACKENDS, ShardedBackend, _grouped_reduce
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+#: Below this many words an operation runs on the serial kernels: the
+#: ~0.1–1 ms of per-operation process dispatch would dominate the compute.
+DEFAULT_MIN_PARALLEL_ITEMS = 32768
+
+
+#: Scoped override for the ``workers=None`` default (see
+#: :func:`default_workers`); ``None`` means "derive from the CPU count".
+_DEFAULT_WORKERS_OVERRIDE: "int | None" = None
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may run on (affinity-aware; at least 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when none are requested.
+
+    The :func:`default_workers` override wins when active; otherwise the
+    usable CPUs (respecting CPU affinity masks in containers), capped
+    at 4.
+    """
+    if _DEFAULT_WORKERS_OVERRIDE is not None:
+        return _DEFAULT_WORKERS_OVERRIDE
+    return min(4, usable_cpu_count())
+
+
+@contextlib.contextmanager
+def default_workers(workers: "int | None"):
+    """Scope a default pool size for ``ProcessBackend(workers=None)``.
+
+    The bench runner wraps each experiment in this so ``--workers N``
+    reaches every backend the experiment constructs by name — including
+    the ones built deep inside ``mpc_connected_components(...,
+    backend="process")``.  Backends constructed with an explicit
+    ``workers=`` are unaffected.  ``None`` is a no-op scope.
+    """
+    global _DEFAULT_WORKERS_OVERRIDE
+    if workers is not None:
+        workers = check_positive_int(workers, "workers")
+    previous = _DEFAULT_WORKERS_OVERRIDE
+    _DEFAULT_WORKERS_OVERRIDE = workers if workers is not None else previous
+    try:
+        yield
+    finally:
+        _DEFAULT_WORKERS_OVERRIDE = previous
+
+
+def _mp_context():
+    """The cheapest available start method (fork on Linux, else spawn)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory plumbing
+# ---------------------------------------------------------------------------
+#
+# A descriptor is the picklable triple ``(name, shape, dtype_str)``; the
+# parent owns every block (create + unlink), workers only attach.
+
+
+class _Arena:
+    """Parent-side owner of the shared-memory blocks of one operation.
+
+    Use as a context manager: blocks are created inside the ``with`` body
+    (outputs must be copied out before it exits) and are closed *and
+    unlinked* on exit, so no segment outlives its operation.
+    """
+
+    def __init__(self):
+        self._blocks: "list[shared_memory.SharedMemory]" = []
+
+    def __enter__(self) -> "_Arena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def share(self, array: np.ndarray) -> tuple:
+        """Copy ``array`` into a fresh block; returns its descriptor."""
+        array = np.ascontiguousarray(array)
+        desc, view = self.alloc(array.shape, array.dtype)
+        view[...] = array
+        return desc
+
+    def alloc(self, shape, dtype) -> "tuple[tuple, np.ndarray]":
+        """Allocate an uninitialised block; returns (descriptor, view)."""
+        dtype = np.dtype(dtype)
+        words = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, words * dtype.itemsize)
+        )
+        self._blocks.append(shm)
+        view = np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf)
+        return (shm.name, tuple(shape), dtype.str), view
+
+    def close(self) -> None:
+        """Close and unlink every block created by this arena."""
+        for shm in self._blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - cleanup
+                pass
+        self._blocks.clear()
+
+
+def _attach(desc, opened: list) -> np.ndarray:
+    """Worker-side: attach a descriptor, return its numpy view.
+
+    The segment handle is appended to ``opened`` so the caller can close
+    it after the kernel.  Resource-tracker registration is suppressed
+    around the attach: the parent owns every segment's lifetime, and on
+    Python < 3.13 an attach would otherwise register the name a second
+    time and have it unlinked (or double-unregistered) when the worker
+    exits (bpo-39959).
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=desc[0])
+    finally:
+        resource_tracker.register = original_register
+    opened.append(shm)
+    return np.ndarray(desc[1], dtype=np.dtype(desc[2]), buffer=shm.buf)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side kernels
+# ---------------------------------------------------------------------------
+
+
+def _bucket_select(keys: np.ndarray, lo, hi) -> "tuple[np.ndarray, int]":
+    """Original positions (ascending) of the keys in ``[lo, hi)`` plus the
+    bucket's global output offset (= count of keys below ``lo``).
+
+    ``None`` bounds are open: ``(None, None)`` selects everything.
+    """
+    if lo is None and hi is None:
+        return np.arange(keys.shape[0], dtype=np.int64), 0
+    mask = np.ones(keys.shape[0], dtype=bool)
+    if lo is not None:
+        mask &= keys >= lo
+    if hi is not None:
+        mask &= keys < hi
+    offset = 0 if lo is None else int(np.count_nonzero(keys < lo))
+    return np.flatnonzero(mask), offset
+
+
+def _op_search(payload: dict):
+    opened: list = []
+    try:
+        table = _attach(payload["table"], opened)
+        queries = _attach(payload["queries"], opened)
+        out = _attach(payload["out"], opened)
+        lo, hi = payload["block"]
+        out[lo:hi] = table[queries[lo:hi]]
+    finally:
+        for shm in opened:
+            shm.close()
+    return None
+
+
+def _op_sort(payload: dict):
+    opened: list = []
+    try:
+        keys = _attach(payload["keys"], opened)
+        values = _attach(payload["values"], opened)
+        out_values = _attach(payload["out_values"], opened)
+        out_order = _attach(payload["out_order"], opened)
+        lo, hi = payload["bounds"]
+        idx, offset = _bucket_select(keys, lo, hi)
+        if idx.size:
+            seg = idx[np.argsort(keys[idx], kind="stable")]
+            out_order[offset : offset + seg.size] = seg
+            out_values[offset : offset + seg.size] = values[seg]
+    finally:
+        for shm in opened:
+            shm.close()
+    return None
+
+
+def _op_reduce(payload: dict):
+    opened: list = []
+    try:
+        keys = _attach(payload["keys"], opened)
+        values = _attach(payload["values"], opened)
+        out_order = _attach(payload["out_order"], opened)
+        out_unique = _attach(payload["out_unique"], opened)
+        out_reduced = _attach(payload["out_reduced"], opened)
+        lo, hi = payload["bounds"]
+        idx, offset = _bucket_select(keys, lo, hi)
+        if idx.size == 0:
+            return (offset, 0)
+        unique, reduced, local = _grouped_reduce(
+            keys[idx], values[idx], payload["op"]
+        )
+        seg = idx[local]
+        out_order[offset : offset + seg.size] = seg
+        out_unique[offset : offset + unique.shape[0]] = unique
+        out_reduced[offset : offset + reduced.shape[0]] = reduced
+        return (offset, int(unique.shape[0]))
+    finally:
+        for shm in opened:
+            shm.close()
+
+
+def _op_min_label(payload: dict):
+    opened: list = []
+    try:
+        labels = _attach(payload["labels"], opened)
+        send = _attach(payload["send"], opened)
+        recv = _attach(payload["recv"], opened)
+        out_incoming = _attach(payload["out_incoming"], opened)
+        out_labels = _attach(payload["out_labels"], opened)
+        if payload["pos_block"] is not None:
+            lo, hi = payload["pos_block"]
+            out_incoming[lo:hi] = labels[send[lo:hi]]
+        if payload["label_block"] is not None:
+            lo, hi = payload["label_block"]
+            out_labels[lo:hi] = labels[lo:hi]
+            mask = (recv >= lo) & (recv < hi)
+            np.minimum.at(out_labels, recv[mask], labels[send[mask]])
+    finally:
+        for shm in opened:
+            shm.close()
+    return None
+
+
+_WORKER_OPS = {
+    "search": _op_search,
+    "sort": _op_sort,
+    "reduce": _op_reduce,
+    "min_label": _op_min_label,
+}
+
+
+def _worker_main(conn) -> None:
+    """Worker process loop: execute commands until EOF / ``None``."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        op, payload = message
+        try:
+            result = _WORKER_OPS[op](payload)
+        except BaseException as exc:  # noqa: BLE001 - ship every failure back
+            try:
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                return
+        else:
+            conn.send(("ok", result))
+
+
+def _shutdown_pool(procs: list, pipes: list) -> None:
+    """Stop a worker pool: polite ``None``, then join, then terminate."""
+    for pipe in pipes:
+        try:
+            pipe.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            pipe.close()
+        except OSError:  # pragma: no cover - cleanup
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class ProcessBackend(ShardedBackend):
+    """Sharded execution on a pool of OS worker processes.
+
+    Accounting (capacity enforcement, exchange/byte counters, op counts)
+    is inherited unchanged from :class:`~repro.mpc.backends.ShardedBackend`;
+    only the ``_kernel_*`` compute hooks are overridden, so results *and*
+    counters are bit-identical to the serial sharded backend while the
+    heavy numpy work runs in parallel.
+
+    Parameters
+    ----------
+    shard_memory:
+        Per-shard capacity ``s`` in words; bound to the owning engine's
+        ``machine_memory`` at attach time when ``None`` (exactly as the
+        sharded backend does).
+    max_shards:
+        Optional hard fleet size; operations needing more shards raise
+        :class:`~repro.mpc.machine.MachineMemoryError`.
+    workers:
+        OS processes in the pool (default: :func:`default_worker_count`).
+        ``workers=1`` still routes kernels through the single worker
+        process — the honest baseline for scaling measurements.
+    min_parallel_items:
+        Operations touching fewer words than this run on the serial
+        kernels (default :data:`DEFAULT_MIN_PARALLEL_ITEMS`); set to 0 to
+        force every operation through the pool (the differential tests
+        do).
+
+    Raises
+    ------
+    RuntimeError
+        From any operation whose worker process died mid-command.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        shard_memory: "int | None" = None,
+        *,
+        max_shards: "int | None" = None,
+        workers: "int | None" = None,
+        min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
+    ):
+        super().__init__(shard_memory, max_shards=max_shards)
+        if workers is None:
+            workers = default_worker_count()
+        self.workers = check_positive_int(workers, "workers")
+        self.min_parallel_items = check_nonnegative_int(
+            min_parallel_items, "min_parallel_items"
+        )
+        self._procs: list = []
+        self._pipes: list = []
+        self._finalizer = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent; the pool restarts on demand)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._procs = []
+        self._pipes = []
+
+    def _ensure_pool(self) -> None:
+        if self._procs and all(p.is_alive() for p in self._procs):
+            return
+        self.close()
+        ctx = _mp_context()
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._pipes.append(parent_conn)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, list(self._procs), list(self._pipes)
+        )
+
+    def _run(self, commands: "list[tuple]") -> list:
+        """One exchange barrier: dispatch ``commands[i]`` to worker ``i``
+        and gather every reply (raising on worker death or kernel error).
+        """
+        self._ensure_pool()
+        for i, command in enumerate(commands):
+            try:
+                self._pipes[i].send(command)
+            except (BrokenPipeError, OSError) as exc:
+                # Same contract as a recv failure: a dead worker means the
+                # pipes are desynchronised — drop the pool and report.
+                self.close()
+                raise RuntimeError(
+                    f"process backend worker {i} died mid-dispatch"
+                ) from exc
+        replies, first_error = [], None
+        for i in range(len(commands)):
+            try:
+                status, value = self._pipes[i].recv()
+            except (EOFError, OSError) as exc:
+                # A dead worker desynchronises the pipes; drop the pool so
+                # the next operation starts from a clean slate.
+                self.close()
+                raise RuntimeError(
+                    f"process backend worker {i} died mid-operation"
+                ) from exc
+            if status == "err" and first_error is None:
+                first_error = f"process backend worker {i} failed: {value}"
+            replies.append(value)
+        if first_error is not None:
+            raise RuntimeError(first_error)
+        return replies
+
+    # -- partitioning --------------------------------------------------------
+
+    def _use_pool(self, n: int) -> bool:
+        return n > 0 and n >= self.min_parallel_items
+
+    def _blocks(self, n: int) -> "list[tuple[int, int]]":
+        """Shard-aligned position blocks: worker ``w`` owns the
+        ``ceil(shard_count / workers)`` consecutive shards of block ``w``.
+        """
+        s = self._s
+        shards = max(1, math.ceil(n / s))
+        per_worker = math.ceil(shards / min(self.workers, shards))
+        blocks = []
+        for w in range(self.workers):
+            lo = w * per_worker * s
+            if lo >= n:
+                break
+            blocks.append((lo, min(n, (w + 1) * per_worker * s)))
+        return blocks
+
+    def _key_bounds(self, keys: np.ndarray) -> "list[tuple]":
+        """Splitter-delimited key ranges for sample sort: ``≤ W`` disjoint
+        half-open intervals covering the key space, picked from a
+        deterministic sample so buckets are approximately balanced.
+        """
+        buckets = max(1, min(self.workers, self.shards_for(int(keys.shape[0]))))
+        if buckets == 1:
+            return [(None, None)]
+        step = max(1, keys.shape[0] // (buckets * 64))
+        sample = np.sort(keys[::step], kind="stable")
+        positions = [(sample.shape[0] * i) // buckets for i in range(1, buckets)]
+        splitters = np.unique(sample[positions])
+        bounds = [None, *splitters.tolist(), None]
+        return list(zip(bounds[:-1], bounds[1:]))
+
+    @staticmethod
+    def _partitionable(keys: np.ndarray) -> bool:
+        """Key dtypes the range partition handles exactly (ints, bools,
+        finite floats); anything else falls back to the serial kernel.
+        """
+        if keys.dtype.kind in "iub":
+            return True
+        if keys.dtype.kind == "f":
+            return bool(np.isfinite(keys).all())
+        return False
+
+    @staticmethod
+    def _shm_safe(*arrays: np.ndarray) -> bool:
+        """True iff every array can live in shared memory: object dtypes
+        hold PyObject pointers that are meaningless (spawn) or
+        refcount-unsafe (fork) in another process, so they take the
+        serial kernels instead.
+        """
+        return not any(array.dtype.hasobject for array in arrays)
+
+    # -- parallel kernels ----------------------------------------------------
+
+    def _kernel_search(self, table: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        n = int(queries.shape[0])
+        if (
+            not self._use_pool(n)
+            or queries.ndim != 1
+            or queries.dtype.kind not in "iu"
+            or table.ndim > 2
+            or not self._shm_safe(table)
+        ):
+            return super()._kernel_search(table, queries)
+        with _Arena() as arena:
+            table_d = arena.share(table)
+            queries_d = arena.share(queries)
+            out_d, out = arena.alloc((n,) + table.shape[1:], table.dtype)
+            self._run(
+                [
+                    ("search", {"table": table_d, "queries": queries_d,
+                                "out": out_d, "block": block})
+                    for block in self._blocks(n)
+                ]
+            )
+            return out.copy()
+
+    def _kernel_sort(self, values: np.ndarray, keys: np.ndarray):
+        n = int(values.shape[0])
+        if (
+            not self._use_pool(n)
+            or keys.ndim != 1
+            or values.ndim > 2
+            or not self._partitionable(keys)
+            or not self._shm_safe(values)
+        ):
+            return super()._kernel_sort(values, keys)
+        with _Arena() as arena:
+            keys_d = arena.share(keys)
+            values_d = keys_d if values is keys else arena.share(values)
+            out_values_d, out_values = arena.alloc(values.shape, values.dtype)
+            out_order_d, out_order = arena.alloc((n,), np.int64)
+            self._run(
+                [
+                    ("sort", {"keys": keys_d, "values": values_d,
+                              "out_values": out_values_d,
+                              "out_order": out_order_d, "bounds": bounds})
+                    for bounds in self._key_bounds(keys)
+                ]
+            )
+            return out_values.copy(), out_order.copy()
+
+    def _kernel_reduce(self, keys: np.ndarray, values: np.ndarray, op: str):
+        n = int(keys.shape[0])
+        if (
+            not self._use_pool(n)
+            or keys.ndim != 1
+            or values.ndim > 2
+            or not self._partitionable(keys)
+            or not self._shm_safe(values)
+        ):
+            return super()._kernel_reduce(keys, values, op)
+        with _Arena() as arena:
+            keys_d = arena.share(keys)
+            values_d = arena.share(values)
+            out_order_d, out_order = arena.alloc((n,), np.int64)
+            out_unique_d, out_unique = arena.alloc((n,), keys.dtype)
+            out_reduced_d, out_reduced = arena.alloc(values.shape, values.dtype)
+            replies = self._run(
+                [
+                    ("reduce", {"keys": keys_d, "values": values_d,
+                                "out_order": out_order_d,
+                                "out_unique": out_unique_d,
+                                "out_reduced": out_reduced_d,
+                                "bounds": bounds, "op": op})
+                    for bounds in self._key_bounds(keys)
+                ]
+            )
+            # Key ranges are disjoint and ascending, so concatenating the
+            # per-bucket unique/reduced slices yields the global result.
+            unique = np.concatenate(
+                [out_unique[off : off + cnt] for off, cnt in replies]
+            )
+            reduced = np.concatenate(
+                [out_reduced[off : off + cnt] for off, cnt in replies]
+            )
+            return unique, reduced, out_order.copy()
+
+    def _kernel_min_label(
+        self, labels: np.ndarray, send: np.ndarray, recv: np.ndarray
+    ):
+        n = int(labels.shape[0]) + int(send.shape[0])
+        if (
+            not self._use_pool(n)
+            or labels.ndim != 1
+            or send.ndim != 1
+            or not self._shm_safe(labels)
+        ):
+            return super()._kernel_min_label(labels, send, recv)
+        with _Arena() as arena:
+            labels_d = arena.share(labels)
+            send_d = arena.share(send)
+            recv_d = arena.share(recv)
+            out_incoming_d, out_incoming = arena.alloc(send.shape, labels.dtype)
+            out_labels_d, out_labels = arena.alloc(labels.shape, labels.dtype)
+            pos_blocks = self._blocks(int(send.shape[0]))
+            label_blocks = self._blocks(int(labels.shape[0]))
+            commands = []
+            for w in range(max(len(pos_blocks), len(label_blocks))):
+                commands.append(
+                    ("min_label", {
+                        "labels": labels_d, "send": send_d, "recv": recv_d,
+                        "out_incoming": out_incoming_d,
+                        "out_labels": out_labels_d,
+                        "pos_block": pos_blocks[w] if w < len(pos_blocks) else None,
+                        "label_block": (
+                            label_blocks[w] if w < len(label_blocks) else None
+                        ),
+                    })
+                )
+            self._run(commands)
+            return out_labels.copy(), out_incoming.copy()
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self):
+        """Sharded counters plus the pool size (``workers``)."""
+        snapshot = super().stats()  # name resolves to "process" already
+        snapshot.workers = self.workers
+        return snapshot
+
+
+#: Selecting ``backend="process"`` anywhere resolves to this class.
+BACKENDS["process"] = ProcessBackend

@@ -1,12 +1,13 @@
 """Pipeline-level differential test harness.
 
-Runs the full Theorem 4 pipeline on *both* execution backends plus the
-four classical baselines across every registered generator family and
-asserts canonical-label agreement with the union-find ground truth.  On
-top of the correctness differential:
+Runs the full Theorem 4 pipeline on *all three* execution backends
+(accounting-only local, enforced sharded, true-parallel process pool)
+plus the four classical baselines across every registered generator
+family and asserts canonical-label agreement with the union-find ground
+truth.  On top of the correctness differential:
 
 * **Seeded determinism** — identical RNG seeds must give identical
-  labels, round counts, and phase breakdowns on both backends, across
+  labels, round counts, and phase breakdowns on every backend, across
   δ ∈ {0.3, 0.5, 0.7};
 * **Round certification at pipeline granularity** — every
   ``MPCEngine`` charge emitted during ``mpc_connected_components`` must
@@ -31,7 +32,7 @@ from repro.baselines import (
 from repro.bench.workloads import Workload, family_names
 from repro.graph import canonical_labels, components_agree
 from repro.graph.union_find import DisjointSetUnion
-from repro.mpc import MPCEngine, ShardedBackend
+from repro.mpc import MPCEngine, ProcessBackend, ShardedBackend
 
 #: Laptop-scale constants: short capped walks under-mix on the weakly
 #: connected families, and the honest verification broadcast finishes the
@@ -67,28 +68,40 @@ def build(family: str, n: int = 192):
 
 def run_pipeline(graph, backend: str, *, delta: float = 0.5, rng: int = SEED):
     config = CONFIG.with_overrides(delta=delta)
-    return repro.mpc_connected_components(
-        graph, GAP_BOUND, config=config, rng=rng, backend=backend
-    )
+    if backend == "process":
+        # Force every operation through the worker pool (the default
+        # min_parallel_items would keep laptop-scale ops on the serial
+        # kernels and leave the IPC path untested).
+        backend = ProcessBackend(workers=2, min_parallel_items=0)
+    try:
+        return repro.mpc_connected_components(
+            graph, GAP_BOUND, config=config, rng=rng, backend=backend
+        )
+    finally:
+        if isinstance(backend, ProcessBackend):
+            backend.close()
 
 
 # ---------------------------------------------------------------------------
-# Differential: pipeline (both backends) + baselines vs union-find truth
+# Differential: pipeline (all three backends) + baselines vs union-find truth
 # ---------------------------------------------------------------------------
 
 
 @pytest.mark.parametrize("family", family_names())
 class TestDifferential:
-    def test_pipeline_both_backends_match_truth(self, family):
+    def test_pipeline_all_backends_match_truth(self, family):
         graph = build(family)
         truth = union_find_truth(graph)
         local = run_pipeline(graph, "local")
         sharded = run_pipeline(graph, "sharded")
+        process = run_pipeline(graph, "process")
         assert components_agree(local.labels, truth)
         assert components_agree(sharded.labels, truth)
+        assert components_agree(process.labels, truth)
         # Stronger than agreement: the backends are bit-identical.
         assert np.array_equal(local.labels, sharded.labels)
-        assert local.rounds == sharded.rounds
+        assert np.array_equal(local.labels, process.labels)
+        assert local.rounds == sharded.rounds == process.rounds
 
     @pytest.mark.parametrize("baseline", sorted(BASELINES))
     def test_baselines_match_truth(self, family, baseline):
@@ -114,7 +127,7 @@ class TestSeededDeterminism:
 
     def test_same_seed_same_run(self, delta):
         graph = build("permutation_regular", 256)
-        for backend in ("local", "sharded"):
+        for backend in ("local", "sharded", "process"):
             labels_a, rounds_a, phases_a = self._summaries(graph, backend, delta)
             labels_b, rounds_b, phases_b = self._summaries(graph, backend, delta)
             assert np.array_equal(labels_a, labels_b)
@@ -125,15 +138,19 @@ class TestSeededDeterminism:
         graph = build("dumbbell", 256)
         labels_l, rounds_l, phases_l = self._summaries(graph, "local", delta)
         labels_s, rounds_s, phases_s = self._summaries(graph, "sharded", delta)
+        labels_p, rounds_p, phases_p = self._summaries(graph, "process", delta)
         assert np.array_equal(labels_l, labels_s)
-        assert rounds_l == rounds_s
+        assert np.array_equal(labels_l, labels_p)
+        assert rounds_l == rounds_s == rounds_p
         # Phase breakdowns agree up to the data-plane exchange counters
-        # (zero on the accounting-only backend by definition).
+        # (zero on the accounting-only backend by definition); the two
+        # enforced backends must agree on those too.
         def strip(phases):
             return [{k: v for k, v in p.items() if k != "exchanges"}
                     for p in phases]
 
         assert strip(phases_l) == strip(phases_s)
+        assert phases_s == phases_p
 
     def test_different_seed_different_randomness(self, delta):
         # Canonical labels are seed-invariant (they only encode the true
