@@ -1,0 +1,12 @@
+"""E19 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e19``.
+The case itself always exercises the ``ProcessBackend`` and sweeps the
+arena toggle explicitly (``arena=True`` vs ``arena=False`` instances),
+so it ignores ``BENCH_BACKEND`` and ``BENCH_ARENA``; set
+``BENCH_WORKERS=N`` to resize the pool (default 2).
+"""
+
+
+def test_e19_arena_overhead(bench_case):
+    bench_case("e19_arena_overhead")

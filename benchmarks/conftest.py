@@ -10,8 +10,9 @@ under ``benchmarks/results/``.
 Select the parameter tier with ``BENCH_SUITE=smoke|full`` (default:
 ``full`` — the paper-shape sweeps these files always ran), the execution
 backend with ``BENCH_BACKEND=local|sharded|process`` (default:
-``local``), and the process-backend pool size with ``BENCH_WORKERS=N``
-(default: experiment-specific; see ``docs/benchmarks.md``).
+``local``), the process-backend pool size with ``BENCH_WORKERS=N``
+(default: experiment-specific), and its shared-memory arena with
+``BENCH_ARENA=1|0`` (default: on; see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +28,21 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 SUITE = os.environ.get("BENCH_SUITE", "full")
 BACKEND = os.environ.get("BENCH_BACKEND", "local")
 WORKERS = int(os.environ["BENCH_WORKERS"]) if "BENCH_WORKERS" in os.environ else None
+def _parse_arena(value: str) -> bool:
+    """Strict boolean parse for BENCH_ARENA: a typo must not silently
+    measure the wrong mode."""
+    normalized = value.strip().lower()
+    if normalized in ("1", "true", "yes", "on"):
+        return True
+    if normalized in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"BENCH_ARENA must be one of 1/0/true/false/yes/no/on/off, "
+        f"got {value!r}"
+    )
+
+
+ARENA = _parse_arena(os.environ["BENCH_ARENA"]) if "BENCH_ARENA" in os.environ else None
 
 
 def pytest_collection_modifyitems(items):
@@ -41,7 +57,9 @@ def bench_case():
     """``bench_case(name)`` — run one registered benchmark and persist it."""
 
     def _run(name: str) -> bench.CaseResult:
-        result = bench.run_case(name, suite=SUITE, backend=BACKEND, workers=WORKERS)
+        result = bench.run_case(
+            name, suite=SUITE, backend=BACKEND, workers=WORKERS, arena=ARENA
+        )
         text = bench.render_case(result)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")

@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: min(4, usable CPUs); e18 sweeps {1, N} when given)",
     )
     parser.add_argument(
+        "--arena",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="persistent shared-memory arena for the 'process' backend: "
+        "--arena (the default) allocates segments once per run and "
+        "recycles them across operations; --no-arena restores transient "
+        "per-operation segments — the baseline e19_arena_overhead "
+        "measures against",
+    )
+    parser.add_argument(
         "--no-json", action="store_true", help="skip writing JSON artifacts"
     )
     parser.add_argument("--seed", type=int, default=None, help="override base seed")
@@ -130,6 +140,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 repeat=args.repeat,
                 backend=args.backend,
                 workers=args.workers,
+                arena=args.arena,
             )
         except Exception as exc:  # noqa: BLE001 - report every failing case
             failures.append((spec.name, exc))

@@ -26,6 +26,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e16_gap_vs_diameter,
     e17_backend_comparison,
     e18_parallel_scaling,
+    e19_arena_overhead,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "e16_gap_vs_diameter",
     "e17_backend_comparison",
     "e18_parallel_scaling",
+    "e19_arena_overhead",
 ]

@@ -1,0 +1,216 @@
+"""E19 — arena-backed executor: segment allocations and dispatch cost.
+
+The Theorem 4 pipeline runs twice on the true-parallel
+:class:`~repro.mpc.ProcessBackend` — once with the persistent
+shared-memory arena (the default) and once with transient per-operation
+segments (``arena=False``, the PR 3 baseline) — against a serial
+``ShardedBackend`` reference.  Expected shape:
+
+* labels, round counts, and every model counter (``exchanges``,
+  ``bytes_exchanged``, ``shard_count``, ``peak_shard_load``) bit-identical
+  across all three runs — the arena changes dispatch cost, never results
+  or accounting;
+* cold-run segment allocations drop from O(ops) without the arena to
+  O(size classes) with it (``shm_segments``, regression-gated via the
+  ``*segments`` counter suffix);
+* *warm* runs on a live arena allocate **zero** new segments
+  (``warm_segments``, gated at 0 for the arena mode) — every buffer is a
+  recycled lease, plus pinned-input cache hits for the loop-invariant
+  broadcast incidence arrays.
+
+This case always exercises the process backend regardless of
+``--backend``; ``--workers N`` resizes the pool (default 2), and the
+sweep constructs its backends with explicit ``arena=`` flags, so
+``--arena``/``--no-arena`` (which steers backends built by name) does
+not collapse the two modes into one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import Workload
+from repro.graph import components_agree, connected_components
+from repro.mpc import MPCEngine, ProcessBackend, ShardedBackend
+
+DEGREE = 6
+GAP_BOUND = 0.25
+DELTA = 0.3
+
+#: Ceiling on cold-run segment allocations in arena mode: the arena
+#: allocates one segment per (size class × concurrent lease), which is
+#: independent of how many operations the pipeline executes.
+MAX_ARENA_SEGMENTS = 24
+
+
+def _config(params: dict) -> "repro.PipelineConfig":
+    return repro.PipelineConfig(
+        delta=DELTA,
+        expander_degree=4,
+        max_walk_length=params["max_walk_length"],
+        oversample=params["oversample"],
+        max_phases=params["max_phases"],
+    )
+
+
+def _run(graph, seed: int, config, backend):
+    """One pipeline execution on ``backend`` with a fresh engine.
+
+    The backend is reset first so repeated timing runs do not accumulate
+    exchange/byte counters (arena segments survive resets by design —
+    that persistence is what this experiment measures).
+    """
+    backend.reset()
+    engine = MPCEngine.for_delta(
+        max(graph.n + graph.m, 2), DELTA, backend=backend
+    )
+    result = repro.mpc_connected_components(
+        graph, spectral_gap_bound=GAP_BOUND, config=config, rng=seed, engine=engine
+    )
+    return result, engine
+
+
+@register_benchmark(
+    "e19_arena_overhead",
+    title="Process backend: shm arena vs transient per-op segments",
+    headers=["n", "arena", "seconds", "rounds", "cold segs", "warm segs",
+             "recycled", "pinned", "per-op ms"],
+    smoke={
+        "n": 4096,
+        "workers": 2,
+        "seed": 13,
+        "max_walk_length": 64,
+        "oversample": 6,
+        "max_phases": 4,
+    },
+    full={
+        "n": 100000,
+        "workers": 2,
+        "seed": 13,
+        "max_walk_length": 32,
+        "oversample": 4,
+        "max_phases": 2,
+    },
+    notes=(
+        "Expected shape: labels/rounds/model counters bit-identical with "
+        "and without the arena; cold-run segment allocations O(size "
+        "classes) with the arena vs O(ops) without; warm arena runs "
+        "allocate zero new segments (every buffer is a recycled lease) "
+        "and hit the pinned-input cache for the broadcast incidence "
+        "arrays."
+    ),
+    tags=("pipeline", "backends", "arena"),
+)
+def e19_arena_overhead(ctx):
+    config = _config(ctx.params)
+    n = ctx.params["n"]
+    workers = ctx.workers or ctx.params["workers"]
+    graph = Workload("permutation_regular", n, {"degree": DEGREE}).build(ctx.seed)
+    truth = connected_components(graph)
+
+    sharded_backend = ShardedBackend()
+    sharded_result, _ = _run(graph, ctx.seed, config, sharded_backend)
+    reference = sharded_backend.stats()
+    ctx.check("reference-labels-correct",
+              components_agree(sharded_result.labels, truth))
+
+    cold_segments = {}
+    for use_arena in (True, False):
+        mode = "on" if use_arena else "off"
+        backend = ProcessBackend(
+            workers=workers, min_parallel_items=0, arena=use_arena
+        )
+        try:
+            # Cold run: the arena sizes itself (allocations happen here).
+            result, _ = _run(graph, ctx.seed, config, backend)
+            cold = backend.arena_stats()
+            cold_segments[mode] = cold["segments"]
+
+            # Warm runs: a live arena must serve everything from recycled
+            # leases — zero new segments.
+            result, engine = ctx.timeit(
+                f"pipeline-arena-{mode}", _run, graph, ctx.seed, config, backend
+            )
+            seconds = ctx.timings[-1].best
+            warm = backend.arena_stats()
+            stats = backend.stats()
+            ops = sum(stats.op_counts.values())
+            warm_segments = warm["segments"] - cold["segments"]
+
+            ctx.check(
+                f"labels-identical-arena-{mode}",
+                np.array_equal(result.labels, sharded_result.labels),
+                "arena toggle must not change results",
+            )
+            ctx.check(
+                f"rounds-identical-arena-{mode}",
+                result.rounds == sharded_result.rounds,
+                f"{result.rounds} vs {sharded_result.rounds}",
+            )
+            ctx.check(
+                f"counters-match-sharded-arena-{mode}",
+                (stats.exchanges, stats.bytes_exchanged, stats.shard_count,
+                 stats.peak_shard_load)
+                == (reference.exchanges, reference.bytes_exchanged,
+                    reference.shard_count, reference.peak_shard_load),
+                "buffer management must not change the model accounting",
+            )
+            if use_arena:
+                ctx.check(
+                    "arena-cold-segments-bounded",
+                    cold["segments"] <= MAX_ARENA_SEGMENTS,
+                    f"{cold['segments']} segments for {ops} ops",
+                )
+                ctx.check(
+                    "arena-warm-segments-zero",
+                    warm_segments == 0,
+                    f"warm runs allocated {warm_segments} new segments",
+                )
+                ctx.check(
+                    "arena-recycles-leases",
+                    warm["recycled"] > 0 and warm["pinned_hits"] > 0,
+                )
+
+            ctx.record(
+                f"arena={mode}",
+                row=[n, mode, f"{seconds:.3f}", result.rounds,
+                     cold["segments"], warm_segments, warm["recycled"],
+                     warm["pinned_hits"],
+                     f"{1000.0 * seconds / max(ops, 1):.2f}"],
+                n=n,
+                arena=use_arena,
+                workers=workers,
+                seconds=seconds,
+                pipeline_rounds=result.rounds,
+                backend_ops=ops,
+                per_op_dispatch_ms=1000.0 * seconds / max(ops, 1),
+                shm_segments=cold["segments"],
+                warm_segments=warm_segments,
+                leases_issued=warm["leases"],
+                leases_recycled=warm["recycled"],
+                pinned_hits=warm["pinned_hits"],
+                dispatch_barriers=stats.dispatch["barriers"],
+                dispatch_messages=stats.dispatch["messages"],
+                dispatch_steps=stats.dispatch["steps"],
+                shm_mbytes_copied=stats.dispatch["shm_bytes_copied"] / 1e6,
+                exchanges=stats.exchanges,
+                bytes_exchanged=stats.bytes_exchanged,
+                shard_count=stats.shard_count,
+                peak_shard_load=stats.peak_shard_load,
+                engine=ctx.account(engine),
+            )
+        finally:
+            backend.close()
+
+    ctx.check(
+        "arena-cuts-segment-allocations",
+        cold_segments["on"] * 2 <= cold_segments["off"],
+        f"arena {cold_segments['on']} vs transient {cold_segments['off']} "
+        "segment allocations per cold run",
+    )
+    ctx.note(
+        f"cold-run segment allocations: {cold_segments['on']} (arena) vs "
+        f"{cold_segments['off']} (transient) for the same op sequence"
+    )

@@ -114,6 +114,9 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         # Optional on load (older artifacts predate the process backend);
         # null unless --workers was passed.
         "workers": result.workers,
+        # Optional on load (older artifacts predate the shm arena); null
+        # unless --arena/--no-arena was passed.
+        "arena": result.arena,
         "git_sha": git_sha() if sha is None else sha,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -212,7 +215,9 @@ def compare_cases(
     old_records = {r["key"]: r for r in old["records"]}
     new_records = {r["key"]: r for r in new["records"]}
     # "exchanges" also matches bytes_exchanged; shard occupancy counters are
-    # gated so a backend change that inflates communication fails --compare.
+    # gated so a backend change that inflates communication fails --compare;
+    # "segments" gates shared-memory segment allocations so the arena's
+    # O(1)-allocations-per-run property cannot silently regress.
     counter_suffixes = (
         "rounds",
         "machines",
@@ -221,6 +226,7 @@ def compare_cases(
         "exchanges",
         "shard_count",
         "shard_load",
+        "segments",
     )
 
     regressions, improvements, unchanged = [], [], []

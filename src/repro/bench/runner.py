@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.bench.registry import BenchmarkSpec, get_benchmark
 from repro.mpc.backends import backend_names
-from repro.mpc.process_backend import default_workers
+from repro.mpc.process_backend import default_arena, default_workers
 from repro.utils.rng import ensure_rng
 
 #: suite -> (warmup, repeat) for ``BenchContext.timeit`` kernels.  Smoke
@@ -65,6 +65,7 @@ class CaseResult:
     seed: int
     backend: str
     workers: "int | None"
+    arena: "bool | None"
     params: dict
     headers: "tuple[str, ...]"
     rows: "list[list]"
@@ -93,7 +94,9 @@ class BenchContext:
     thread it into ``mpc_connected_components(..., backend=ctx.backend)``
     so one registered case can be measured on any data plane.  ``workers``
     is the ``--workers`` pool-size override for the ``process`` backend
-    (``None`` means each experiment picks its own default).
+    (``None`` means each experiment picks its own default); ``arena`` is
+    the ``--arena``/``--no-arena`` toggle for that backend's persistent
+    shared-memory arena (``None`` leaves the default — arena on).
     """
 
     def __init__(
@@ -105,6 +108,7 @@ class BenchContext:
         repeat: int,
         backend: str = "local",
         workers: "int | None" = None,
+        arena: "bool | None" = None,
     ):
         if backend not in backend_names():
             raise ValueError(
@@ -117,6 +121,7 @@ class BenchContext:
         self.seed = int(seed)
         self.backend = backend
         self.workers = None if workers is None else int(workers)
+        self.arena = None if arena is None else bool(arena)
         self.params = spec.params_for(suite)
         self.warmup = int(warmup)
         self.repeat = int(repeat)
@@ -205,6 +210,7 @@ def run_case(
     repeat: "int | None" = None,
     backend: str = "local",
     workers: "int | None" = None,
+    arena: "bool | None" = None,
 ) -> CaseResult:
     """Run one registered benchmark and return its :class:`CaseResult`.
 
@@ -220,6 +226,9 @@ def run_case(
         Execution-backend name threaded into the experiment context.
     workers:
         Optional ``process``-backend pool size (the ``--workers`` flag).
+    arena:
+        Optional ``process``-backend arena toggle (``--arena`` /
+        ``--no-arena``); ``None`` keeps the default (arena on).
 
     Raises
     ------
@@ -238,11 +247,13 @@ def run_case(
         repeat=default_repeat if repeat is None else repeat,
         backend=backend,
         workers=workers,
+        arena=arena,
     )
     start = time.perf_counter()
-    # Scope the --workers override so every process backend the experiment
-    # constructs by name (including inside the pipeline) honours it.
-    with default_workers(ctx.workers):
+    # Scope the --workers / --arena overrides so every process backend the
+    # experiment constructs by name (including inside the pipeline)
+    # honours them.
+    with default_workers(ctx.workers), default_arena(ctx.arena):
         spec.func(ctx)
     total = time.perf_counter() - start
     return CaseResult(
@@ -252,6 +263,7 @@ def run_case(
         seed=ctx.seed,
         backend=ctx.backend,
         workers=ctx.workers,
+        arena=ctx.arena,
         params=dict(ctx.params),
         headers=spec.headers,
         rows=ctx.rows,

@@ -300,7 +300,34 @@ def mpc_connected_components_adaptive(
         )
     if min_gap is None:
         min_gap = 1.0 / max(graph.n**2, 4)
+    # Same ownership contract as mpc_connected_components: a backend built
+    # here from a string spec must be released even when an exception
+    # escapes a guess iteration mid-run — relying on the ProcessBackend
+    # finalizer instead can race pool shutdown at interpreter exit and
+    # leaves arena segments linked until garbage collection.
+    try:
+        return _run_adaptive(
+            graph, config, rng, engine,
+            initial_gap=initial_gap, gap_exponent=gap_exponent,
+            min_gap=min_gap, walk_mode=walk_mode,
+        )
+    finally:
+        if owns_backend:
+            engine.backend.close()
 
+
+def _run_adaptive(
+    graph: Graph,
+    config: PipelineConfig,
+    rng,
+    engine: MPCEngine,
+    *,
+    initial_gap: float,
+    gap_exponent: float,
+    min_gap: float,
+    walk_mode: str,
+) -> AdaptiveResult:
+    """The Corollary 7.1 guess loop, on a ready engine."""
     n = graph.n
     final_labels = np.full(n, -1, dtype=np.int64)
     next_label = 0
@@ -358,15 +385,9 @@ def mpc_connected_components_adaptive(
         )
         gap_guess = gap_guess**gap_exponent
 
-    result = AdaptiveResult(
+    return AdaptiveResult(
         labels=canonical_labels(final_labels),
         rounds=engine.rounds,
         engine=engine,
         iterations=iterations,
     )
-    # Release an internally constructed backend's external resources (the
-    # per-guess runs above passed the engine, so they did not close it);
-    # on the exception path the backend's finalizer covers cleanup.
-    if owns_backend:
-        engine.backend.close()
-    return result

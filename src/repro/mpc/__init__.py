@@ -16,6 +16,7 @@ from repro.mpc.algorithms import (
     distributed_min_label_round,
     scatter_graph_state,
 )
+from repro.mpc.arena import ArenaLease, ArenaLeaseError, ShmArena
 from repro.mpc.backends import (
     BACKENDS,
     BackendStats,
@@ -33,6 +34,8 @@ from repro.mpc.machine import Machine, MachineMemoryError
 from repro.mpc.primitives import distributed_search, distributed_sort, reduce_by_key
 from repro.mpc.process_backend import (
     ProcessBackend,
+    default_arena,
+    default_arena_enabled,
     default_worker_count,
     default_workers,
     usable_cpu_count,
@@ -51,9 +54,14 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "ProcessBackend",
+    "ArenaLease",
+    "ArenaLeaseError",
+    "ShmArena",
     "ShardedArray",
     "ShardedBackend",
     "backend_names",
+    "default_arena",
+    "default_arena_enabled",
     "default_worker_count",
     "default_workers",
     "make_backend",

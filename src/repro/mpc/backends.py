@@ -83,7 +83,11 @@ class BackendStats:
     name.  All fields are zero for the accounting-only local backend.
     ``workers`` is the OS-process pool size of a
     :class:`~repro.mpc.process_backend.ProcessBackend` (``None`` for the
-    in-process backends).
+    in-process backends); ``arena`` and ``dispatch`` carry that backend's
+    shared-memory arena counters (segment allocations, lease recycling,
+    pinned-input hits) and dispatch telemetry (barriers, worker messages,
+    fused steps, bytes copied into shared memory) — ``None`` for backends
+    without a worker pool.
     """
 
     name: str
@@ -95,6 +99,8 @@ class BackendStats:
     bytes_exchanged: int = 0
     op_counts: "dict[str, int]" = field(default_factory=dict)
     workers: "int | None" = None
+    arena: "dict | None" = None
+    dispatch: "dict | None" = None
 
     def to_json(self) -> dict:
         """Plain-dict form embedded in ``MPCEngine.summary()`` and the
@@ -110,6 +116,10 @@ class BackendStats:
             "bytes_exchanged": self.bytes_exchanged,
             "op_counts": dict(self.op_counts),
             "workers": self.workers,
+            "arena": dict(self.arena) if self.arena is not None else None,
+            "dispatch": (
+                dict(self.dispatch) if self.dispatch is not None else None
+            ),
         }
 
 
@@ -429,6 +439,15 @@ class ShardedBackend(ExecutionBackend):
         )
 
     # -- compute kernels (overridable; accounting stays in the public ops) ----
+    #
+    # The arena-aware kernel seam: a subclass kernel may stage its inputs
+    # and outputs in recycled shared-memory buffers (see
+    # ``repro.mpc.arena.ShmArena``), provided the arrays it *returns* are
+    # plain ndarrays it owns — leased buffers recycle as soon as the
+    # operation ends, so results must be copied out before the kernel
+    # returns.  Kernels must never mutate their input arrays: the process
+    # backend pins read-only inputs across consecutive operations, and a
+    # mutated input would poison that cache.
 
     def _kernel_sort(self, values: np.ndarray, keys: np.ndarray):
         """Stable sort kernel: return ``(values[order], order)`` for the

@@ -261,6 +261,27 @@ class MPCEngine:
         self._peak_items = 0
         self.backend.reset()
 
+    def close(self) -> None:
+        """Release the backend's external resources (pool, arena segments).
+
+        Engines owning a :class:`~repro.mpc.process_backend.ProcessBackend`
+        hold OS resources — worker processes and shared-memory arena
+        segments — that should be released deterministically rather than
+        left to finalizers.  Counters stay readable after closing and the
+        backend restarts its resources on demand, so a closed engine
+        remains usable.  Also available as a context manager::
+
+            with MPCEngine(1024, backend=ProcessBackend()) as engine:
+                ...
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "MPCEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MPCEngine(s={self.machine_memory}, rounds={self.rounds}, "

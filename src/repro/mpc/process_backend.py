@@ -14,19 +14,50 @@ Execution model
 The pool holds ``workers`` long-lived OS processes (stdlib
 ``multiprocessing``; no third-party dependencies).  Arrays travel through
 ``multiprocessing.shared_memory`` blocks and are read in the workers as
-zero-copy numpy views; only tiny command descriptors (shared-memory names,
-shapes, dtypes, splitters, block bounds) cross the command pipes.
+zero-copy numpy views; only tiny *plans* (lists of step descriptors:
+shared-memory names, shapes, dtypes, splitters, block bounds) cross the
+command pipes.
 
 Work is partitioned along the same canonical shard layout the
 :class:`~repro.mpc.backends.ShardedBackend` accounts for: with
 ``shard_count`` shards of ``s`` words, each worker owns
 ``ceil(shard_count / workers)`` consecutive shards and executes its part
 of every operation locally.  Synchronisation is one explicit exchange
-barrier per operation — the parent dispatches one command per worker and
+barrier per operation — the parent dispatches one plan per worker and
 waits for all replies — and the only data that conceptually moves at the
 barrier is what the sharded accounting already prices: the splitters that
 delimit each worker's key range and the records migrating to the shards
 that own them in the output layout.
+
+Arena-backed buffers (PR 4)
+---------------------------
+Shared-memory blocks come from a persistent
+:class:`~repro.mpc.arena.ShmArena` owned by the backend: segments are
+allocated once (rounded to power-of-two size classes), leased per
+operation with generation tags, and recycled across operations and
+rounds, so a pipeline run performs O(size classes) segment allocations
+instead of O(ops).  Inputs the caller marks read-only (such as the
+constant ``send``/``recv`` incidence arrays of the broadcast loop) are
+*pinned*: uploaded once and re-leased by every subsequent operation that
+passes the same array.  Workers cache their segment attachments by name
+for the arena's lifetime, so the per-operation IPC setup is just the
+plan descriptor.  Construct with ``arena=False`` (or run the bench CLI
+with ``--no-arena``) to fall back to transient per-operation segments —
+the PR 3 behaviour, kept as the honest baseline the
+``e19_arena_overhead`` experiment measures against.
+
+Fused dispatch
+--------------
+Worker messages carry *plans* — lists of kernel steps executed
+back-to-back without returning to the parent.  Consecutive kernel steps
+that target the same shard ranges and have no cross-worker data
+dependency ride in one message: a ``min_label_exchange`` dispatches its
+incoming-gather and its min-fold as two fused steps per worker (each
+worker reads only the immutable input ``labels``, so no barrier is
+needed between the steps).  Fusion changes only dispatch cost — round
+counters, exchange counters, and results stay bit-identical, because all
+accounting lives in the :class:`~repro.mpc.backends.ShardedBackend`
+public operations, which this class never overrides.
 
 Per-operation partitioning:
 
@@ -40,33 +71,38 @@ Per-operation partitioning:
   the result directly into its slice of the output block.  Reduce-by-key
   additionally folds each group locally — key ranges are disjoint across
   workers, so no combine step is needed.
-* ``min_label_exchange`` — the label space is split into shard-aligned
-  ranges; each worker owns the labels of its range and applies
-  ``minimum.at`` for exactly the incidences whose receiving endpoint
-  lives there (min is commutative, associative, and idempotent, so any
-  partition gives the serial result exactly).  Each worker selects its
-  range by scanning the full incidence arrays — deliberately redundant:
-  the vectorised compares are cheap, while the scalar ``minimum.at``
-  scatter they feed is the expensive part the partition divides, and a
-  parent-side pre-bucketing argsort would serialise more work than the
-  redundant scans cost.
+* ``min_label_exchange`` — a fused two-step plan per worker: the *gather*
+  step fills ``incoming = labels[send]`` for the worker's shard-aligned
+  position block; the *fold* step owns a shard-aligned range of the label
+  space and applies ``minimum.at`` for exactly the incidences whose
+  receiving endpoint lives there (min is commutative, associative, and
+  idempotent, so any partition gives the serial result exactly).  The
+  fold selects its range by scanning the full incidence arrays —
+  deliberately redundant: the vectorised compares are cheap, while the
+  scalar ``minimum.at`` scatter they feed is the expensive part the
+  partition divides.
 
 Determinism
 -----------
 Every kernel is bit-identical to the serial
 :class:`~repro.mpc.backends.ShardedBackend` kernels — the pipeline's
-labels, round counts, and RNG streams do not depend on the worker count.
-Inputs the range partition cannot handle exactly (non-finite floats,
-object dtypes, 0-d edge cases) fall back to the serial kernels, as do
-operations below ``min_parallel_items`` words, where process dispatch
-overhead would dominate.
+labels, round counts, and RNG streams do not depend on the worker count
+or the arena toggle.  Inputs the range partition cannot handle exactly
+(non-finite floats, object dtypes, 0-d edge cases) fall back to the
+serial kernels, as do operations below ``min_parallel_items`` words,
+where process dispatch overhead would dominate.
 
 Lifecycle
 ---------
 Workers start lazily on the first parallel kernel and are reused across
-operations, engines, and :meth:`reset` calls.  Call :meth:`close` (or use
-the backend as a context manager) to stop the pool; a finalizer and
-daemonised workers guarantee nothing outlives the interpreter either way.
+operations, engines, and :meth:`reset` calls; the arena's segments
+likewise survive :meth:`reset` and are recycled across runs.  Call
+:meth:`close` (or use the backend as a context manager) to stop the pool
+and unlink every arena segment; finalizers and daemonised workers
+guarantee nothing outlives the interpreter either way.  The pipeline
+entry points close backends they constructed from a string spec via
+``try``/``finally``, so segments cannot leak even when an exception
+escapes mid-run.
 """
 
 from __future__ import annotations
@@ -80,6 +116,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.mpc.arena import ShmArena
 from repro.mpc.backends import BACKENDS, ShardedBackend, _grouped_reduce
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
@@ -91,6 +128,10 @@ DEFAULT_MIN_PARALLEL_ITEMS = 32768
 #: Scoped override for the ``workers=None`` default (see
 #: :func:`default_workers`); ``None`` means "derive from the CPU count".
 _DEFAULT_WORKERS_OVERRIDE: "int | None" = None
+
+#: Scoped override for the ``arena=None`` default (see
+#: :func:`default_arena`); ``None`` means "arena on" (the fast path).
+_DEFAULT_ARENA_OVERRIDE: "bool | None" = None
 
 
 def usable_cpu_count() -> int:
@@ -134,6 +175,36 @@ def default_workers(workers: "int | None"):
         _DEFAULT_WORKERS_OVERRIDE = previous
 
 
+def default_arena_enabled() -> bool:
+    """Whether ``ProcessBackend(arena=None)`` uses the persistent arena.
+
+    True unless a :func:`default_arena` scope says otherwise — the arena
+    is the fast path and the default everywhere; ``--no-arena`` on the
+    bench CLI exists to measure what it saves.
+    """
+    if _DEFAULT_ARENA_OVERRIDE is not None:
+        return _DEFAULT_ARENA_OVERRIDE
+    return True
+
+
+@contextlib.contextmanager
+def default_arena(enabled: "bool | None"):
+    """Scope a default arena toggle for ``ProcessBackend(arena=None)``.
+
+    The bench runner wraps each experiment in this so ``--arena`` /
+    ``--no-arena`` reaches every backend the experiment constructs by
+    name.  Backends constructed with an explicit ``arena=`` are
+    unaffected.  ``None`` is a no-op scope.
+    """
+    global _DEFAULT_ARENA_OVERRIDE
+    previous = _DEFAULT_ARENA_OVERRIDE
+    _DEFAULT_ARENA_OVERRIDE = bool(enabled) if enabled is not None else previous
+    try:
+        yield
+    finally:
+        _DEFAULT_ARENA_OVERRIDE = previous
+
+
 def _mp_context():
     """The cheapest available start method (fork on Linux, else spawn)."""
     methods = multiprocessing.get_all_start_methods()
@@ -144,80 +215,51 @@ def _mp_context():
 # Shared-memory plumbing
 # ---------------------------------------------------------------------------
 #
-# A descriptor is the picklable triple ``(name, shape, dtype_str)``; the
-# parent owns every block (create + unlink), workers only attach.
+# A descriptor is the picklable 4-tuple ``(name, shape, dtype_str,
+# cacheable)`` issued by an ArenaLease; the parent owns every segment
+# (create + unlink), workers only attach.  ``cacheable`` descriptors come
+# from the persistent arena, whose segments live until the backend
+# closes, so workers keep those attachments open by name instead of
+# re-mmapping per operation.
+
+#: Worker-side attachment cache: segment name -> SharedMemory handle.
+#: Only ever populated inside worker processes.
+_SHM_CACHE: "dict[str, shared_memory.SharedMemory]" = {}
 
 
-class _Arena:
-    """Parent-side owner of the shared-memory blocks of one operation.
-
-    Use as a context manager: blocks are created inside the ``with`` body
-    (outputs must be copied out before it exits) and are closed *and
-    unlinked* on exit, so no segment outlives its operation.
-    """
-
-    def __init__(self):
-        self._blocks: "list[shared_memory.SharedMemory]" = []
-
-    def __enter__(self) -> "_Arena":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def share(self, array: np.ndarray) -> tuple:
-        """Copy ``array`` into a fresh block; returns its descriptor."""
-        array = np.ascontiguousarray(array)
-        desc, view = self.alloc(array.shape, array.dtype)
-        view[...] = array
-        return desc
-
-    def alloc(self, shape, dtype) -> "tuple[tuple, np.ndarray]":
-        """Allocate an uninitialised block; returns (descriptor, view)."""
-        dtype = np.dtype(dtype)
-        words = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, words * dtype.itemsize)
-        )
-        self._blocks.append(shm)
-        view = np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf)
-        return (shm.name, tuple(shape), dtype.str), view
-
-    def close(self) -> None:
-        """Close and unlink every block created by this arena."""
-        for shm in self._blocks:
-            try:
-                shm.close()
-                shm.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover - cleanup
-                pass
-        self._blocks.clear()
-
-
-def _attach(desc, opened: list) -> np.ndarray:
+def _attach(desc, opened: dict) -> np.ndarray:
     """Worker-side: attach a descriptor, return its numpy view.
 
-    The segment handle is appended to ``opened`` so the caller can close
-    it after the kernel.  Resource-tracker registration is suppressed
-    around the attach: the parent owns every segment's lifetime, and on
-    Python < 3.13 an attach would otherwise register the name a second
-    time and have it unlinked (or double-unregistered) when the worker
-    exits (bpo-39959).
+    Cacheable descriptors (persistent-arena segments) are attached once
+    per worker and kept open; transient descriptors are deduped per
+    fused plan through ``opened`` (segment name → handle) so a plan
+    whose steps share inputs maps each segment once, and the caller
+    closes them after the plan.  Resource-tracker registration is
+    suppressed around the attach: the parent owns every segment's
+    lifetime, and on Python < 3.13 an attach would otherwise register
+    the name a second time and have it unlinked (or double-unregistered)
+    when the worker exits (bpo-39959).
     """
-    from multiprocessing import resource_tracker
+    name, shape, dtype_str, cacheable = desc
+    shm = _SHM_CACHE.get(name) if cacheable else opened.get(name)
+    if shm is None:
+        from multiprocessing import resource_tracker
 
-    original_register = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        shm = shared_memory.SharedMemory(name=desc[0])
-    finally:
-        resource_tracker.register = original_register
-    opened.append(shm)
-    return np.ndarray(desc[1], dtype=np.dtype(desc[2]), buffer=shm.buf)
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        if cacheable:
+            _SHM_CACHE[name] = shm
+        else:
+            opened[name] = shm
+    return np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
 
 
 # ---------------------------------------------------------------------------
-# Worker-side kernels
+# Worker-side kernels (plan steps)
 # ---------------------------------------------------------------------------
 
 
@@ -238,83 +280,67 @@ def _bucket_select(keys: np.ndarray, lo, hi) -> "tuple[np.ndarray, int]":
     return np.flatnonzero(mask), offset
 
 
-def _op_search(payload: dict):
-    opened: list = []
-    try:
-        table = _attach(payload["table"], opened)
-        queries = _attach(payload["queries"], opened)
-        out = _attach(payload["out"], opened)
-        lo, hi = payload["block"]
-        out[lo:hi] = table[queries[lo:hi]]
-    finally:
-        for shm in opened:
-            shm.close()
+def _op_search(payload: dict, opened: list):
+    table = _attach(payload["table"], opened)
+    queries = _attach(payload["queries"], opened)
+    out = _attach(payload["out"], opened)
+    lo, hi = payload["block"]
+    out[lo:hi] = table[queries[lo:hi]]
     return None
 
 
-def _op_sort(payload: dict):
-    opened: list = []
-    try:
-        keys = _attach(payload["keys"], opened)
-        values = _attach(payload["values"], opened)
-        out_values = _attach(payload["out_values"], opened)
-        out_order = _attach(payload["out_order"], opened)
-        lo, hi = payload["bounds"]
-        idx, offset = _bucket_select(keys, lo, hi)
-        if idx.size:
-            seg = idx[np.argsort(keys[idx], kind="stable")]
-            out_order[offset : offset + seg.size] = seg
-            out_values[offset : offset + seg.size] = values[seg]
-    finally:
-        for shm in opened:
-            shm.close()
-    return None
-
-
-def _op_reduce(payload: dict):
-    opened: list = []
-    try:
-        keys = _attach(payload["keys"], opened)
-        values = _attach(payload["values"], opened)
-        out_order = _attach(payload["out_order"], opened)
-        out_unique = _attach(payload["out_unique"], opened)
-        out_reduced = _attach(payload["out_reduced"], opened)
-        lo, hi = payload["bounds"]
-        idx, offset = _bucket_select(keys, lo, hi)
-        if idx.size == 0:
-            return (offset, 0)
-        unique, reduced, local = _grouped_reduce(
-            keys[idx], values[idx], payload["op"]
-        )
-        seg = idx[local]
+def _op_sort(payload: dict, opened: list):
+    keys = _attach(payload["keys"], opened)
+    values = _attach(payload["values"], opened)
+    out_values = _attach(payload["out_values"], opened)
+    out_order = _attach(payload["out_order"], opened)
+    lo, hi = payload["bounds"]
+    idx, offset = _bucket_select(keys, lo, hi)
+    if idx.size:
+        seg = idx[np.argsort(keys[idx], kind="stable")]
         out_order[offset : offset + seg.size] = seg
-        out_unique[offset : offset + unique.shape[0]] = unique
-        out_reduced[offset : offset + reduced.shape[0]] = reduced
-        return (offset, int(unique.shape[0]))
-    finally:
-        for shm in opened:
-            shm.close()
+        out_values[offset : offset + seg.size] = values[seg]
+    return None
 
 
-def _op_min_label(payload: dict):
-    opened: list = []
-    try:
-        labels = _attach(payload["labels"], opened)
-        send = _attach(payload["send"], opened)
-        recv = _attach(payload["recv"], opened)
-        out_incoming = _attach(payload["out_incoming"], opened)
-        out_labels = _attach(payload["out_labels"], opened)
-        if payload["pos_block"] is not None:
-            lo, hi = payload["pos_block"]
-            out_incoming[lo:hi] = labels[send[lo:hi]]
-        if payload["label_block"] is not None:
-            lo, hi = payload["label_block"]
-            out_labels[lo:hi] = labels[lo:hi]
-            mask = (recv >= lo) & (recv < hi)
-            np.minimum.at(out_labels, recv[mask], labels[send[mask]])
-    finally:
-        for shm in opened:
-            shm.close()
+def _op_reduce(payload: dict, opened: list):
+    keys = _attach(payload["keys"], opened)
+    values = _attach(payload["values"], opened)
+    out_order = _attach(payload["out_order"], opened)
+    out_unique = _attach(payload["out_unique"], opened)
+    out_reduced = _attach(payload["out_reduced"], opened)
+    lo, hi = payload["bounds"]
+    idx, offset = _bucket_select(keys, lo, hi)
+    if idx.size == 0:
+        return (offset, 0)
+    unique, reduced, local = _grouped_reduce(
+        keys[idx], values[idx], payload["op"]
+    )
+    seg = idx[local]
+    out_order[offset : offset + seg.size] = seg
+    out_unique[offset : offset + unique.shape[0]] = unique
+    out_reduced[offset : offset + reduced.shape[0]] = reduced
+    return (offset, int(unique.shape[0]))
+
+
+def _op_gather_incoming(payload: dict, opened: list):
+    labels = _attach(payload["labels"], opened)
+    send = _attach(payload["send"], opened)
+    out_incoming = _attach(payload["out_incoming"], opened)
+    lo, hi = payload["block"]
+    out_incoming[lo:hi] = labels[send[lo:hi]]
+    return None
+
+
+def _op_min_fold(payload: dict, opened: list):
+    labels = _attach(payload["labels"], opened)
+    send = _attach(payload["send"], opened)
+    recv = _attach(payload["recv"], opened)
+    out_labels = _attach(payload["out_labels"], opened)
+    lo, hi = payload["block"]
+    out_labels[lo:hi] = labels[lo:hi]
+    mask = (recv >= lo) & (recv < hi)
+    np.minimum.at(out_labels, recv[mask], labels[send[mask]])
     return None
 
 
@@ -322,29 +348,39 @@ _WORKER_OPS = {
     "search": _op_search,
     "sort": _op_sort,
     "reduce": _op_reduce,
-    "min_label": _op_min_label,
+    "gather_incoming": _op_gather_incoming,
+    "min_fold": _op_min_fold,
 }
 
 
 def _worker_main(conn) -> None:
-    """Worker process loop: execute commands until EOF / ``None``."""
+    """Worker process loop: execute step plans until EOF / ``None``.
+
+    Each message is a list of ``(op, payload)`` steps — a fused plan —
+    executed back-to-back; one reply carries every step's result.
+    """
     while True:
         try:
-            message = conn.recv()
+            plan = conn.recv()
         except (EOFError, OSError):
             return
-        if message is None:
+        if plan is None:
             return
-        op, payload = message
+        opened: dict = {}
+        results = []
         try:
-            result = _WORKER_OPS[op](payload)
+            for op, payload in plan:
+                results.append(_WORKER_OPS[op](payload, opened))
         except BaseException as exc:  # noqa: BLE001 - ship every failure back
             try:
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
             except (BrokenPipeError, OSError):
                 return
         else:
-            conn.send(("ok", result))
+            conn.send(("ok", results))
+        finally:
+            for shm in opened.values():
+                shm.close()
 
 
 def _shutdown_pool(procs: list, pipes: list) -> None:
@@ -363,6 +399,62 @@ def _shutdown_pool(procs: list, pipes: list) -> None:
         if proc.is_alive():  # pragma: no cover - stuck worker
             proc.terminate()
             proc.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side buffer handout (arena leases per operation)
+# ---------------------------------------------------------------------------
+
+
+class _OpBuffers:
+    """One operation's shared-memory handout, backed by an arena.
+
+    ``share``/``alloc`` return descriptors (and views) exactly as the
+    old per-operation arena did; :meth:`finish` releases every
+    non-pinned lease back to the arena so the segments recycle.  Inputs
+    that qualify for pinning (read-only, no base) bypass the per-op
+    lease list entirely — their leases belong to the arena and persist
+    across operations.
+    """
+
+    def __init__(self, arena: ShmArena, *, pin_inputs: bool):
+        self._arena = arena
+        self._pin_inputs = pin_inputs
+        self._leases: list = []
+        self.bytes_copied = 0
+
+    def share(self, array: np.ndarray) -> tuple:
+        """Place ``array`` in shared memory; returns its descriptor."""
+        array = np.ascontiguousarray(array)
+        if self._pin_inputs:
+            pinned = self._arena.share_pinned(array)
+            if pinned is not None:
+                lease, copied = pinned
+                if copied:
+                    self.bytes_copied += int(array.nbytes)
+                return lease.descriptor
+        lease = self._arena.share(array)
+        self._leases.append(lease)
+        self.bytes_copied += int(array.nbytes)
+        return lease.descriptor
+
+    def alloc(self, shape, dtype) -> "tuple[tuple, np.ndarray]":
+        """Lease an uninitialised output; returns (descriptor, view)."""
+        lease = self._arena.acquire(shape, dtype)
+        self._leases.append(lease)
+        return lease.descriptor, lease.view
+
+    def finish(self) -> None:
+        """Release this operation's leases (outputs must be copied out).
+
+        Runs from ``finally`` blocks; a worker death may already have
+        closed the backend's arena, which is fine — releasing a stale
+        lease is a no-op, so the original ``RuntimeError`` diagnostic
+        is never masked.
+        """
+        for lease in self._leases:
+            lease.release()
+        self._leases.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +489,15 @@ class ProcessBackend(ShardedBackend):
         kernels (default :data:`DEFAULT_MIN_PARALLEL_ITEMS`); set to 0 to
         force every operation through the pool (the differential tests
         do).
+    arena:
+        ``True`` (the default via :func:`default_arena_enabled`) backs
+        every operation with one persistent
+        :class:`~repro.mpc.arena.ShmArena` — segments allocated once,
+        leased per op, recycled across ops and rounds, with read-only
+        inputs pinned and worker attachments cached.  ``False`` restores
+        the transient per-operation segments of PR 3 (the
+        ``e19_arena_overhead`` baseline).  Results are bit-identical
+        either way.
 
     Raises
     ------
@@ -413,6 +514,7 @@ class ProcessBackend(ShardedBackend):
         max_shards: "int | None" = None,
         workers: "int | None" = None,
         min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
+        arena: "bool | None" = None,
     ):
         super().__init__(shard_memory, max_shards=max_shards)
         if workers is None:
@@ -421,11 +523,18 @@ class ProcessBackend(ShardedBackend):
         self.min_parallel_items = check_nonnegative_int(
             min_parallel_items, "min_parallel_items"
         )
+        self.use_arena = default_arena_enabled() if arena is None else bool(arena)
+        self._arena: "ShmArena | None" = None
+        self._arena_retired: "dict[str, int]" = {}
         self._procs: list = []
         self._pipes: list = []
         self._finalizer = None
+        self.dispatch_barriers = 0
+        self.dispatch_messages = 0
+        self.dispatch_steps = 0
+        self.shm_bytes_copied = 0
 
-    # -- pool lifecycle ------------------------------------------------------
+    # -- pool + arena lifecycle ----------------------------------------------
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -433,18 +542,40 @@ class ProcessBackend(ShardedBackend):
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Stop the worker pool (idempotent; the pool restarts on demand)."""
+    def _stop_pool(self) -> None:
+        """Tear down the worker pool (shared by :meth:`close` and the
+        half-dead-pool recovery in :meth:`_ensure_pool`).
+        """
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
         self._procs = []
         self._pipes = []
 
+    def close(self) -> None:
+        """Stop the pool and unlink every arena segment (idempotent).
+
+        The pool stops first so cached worker attachments close before
+        the parent unlinks; both restart lazily on the next operation,
+        so a closed backend remains usable and its counters readable.
+        """
+        self._stop_pool()
+        if self._arena is not None:
+            self._retire_arena(self._arena)
+            self._arena = None
+
+    def reset(self) -> None:
+        """Clear run counters; the pool and the arena's segments survive."""
+        super().reset()
+        self.dispatch_barriers = 0
+        self.dispatch_messages = 0
+        self.dispatch_steps = 0
+        self.shm_bytes_copied = 0
+
     def _ensure_pool(self) -> None:
         if self._procs and all(p.is_alive() for p in self._procs):
             return
-        self.close()
+        self._stop_pool()  # drop any half-dead pool first (arena survives)
         ctx = _mp_context()
         for _ in range(self.workers):
             parent_conn, child_conn = ctx.Pipe()
@@ -457,14 +588,95 @@ class ProcessBackend(ShardedBackend):
             self, _shutdown_pool, list(self._procs), list(self._pipes)
         )
 
-    def _run(self, commands: "list[tuple]") -> list:
-        """One exchange barrier: dispatch ``commands[i]`` to worker ``i``
-        and gather every reply (raising on worker death or kernel error).
+    def _persistent_arena(self) -> ShmArena:
+        if self._arena is None or self._arena.closed:
+            self._arena = ShmArena()
+        return self._arena
+
+    def _retire_arena(self, arena: ShmArena) -> None:
+        """Fold a finished arena's counters into the lifetime totals."""
+        stats = arena.stats()
+        arena.close()
+        retired = self._arena_retired
+        for field in ("segments", "leases", "recycled", "pinned_hits"):
+            retired[field] = retired.get(field, 0) + stats[field]
+        retired["peak_live_leases"] = max(
+            retired.get("peak_live_leases", 0), stats["peak_live_leases"]
+        )
+
+    def arena_stats(self) -> dict:
+        """Lifetime arena counters: live arena plus every retired one.
+
+        ``segments`` counts every shared-memory segment this backend ever
+        created — the quantity the arena keeps at O(size classes) per run
+        where transient buffers pay O(ops); ``bytes_reserved`` and
+        ``segments_held`` describe only the currently live arena.
+        """
+        merged = {
+            "segments": 0,
+            "segments_held": 0,
+            "bytes_reserved": 0,
+            "leases": 0,
+            "recycled": 0,
+            "pinned_hits": 0,
+            "peak_live_leases": 0,
+        }
+        for field, value in self._arena_retired.items():
+            merged[field] = value
+        if self._arena is not None and not self._arena.closed:
+            live = self._arena.stats()
+            for field in ("segments", "leases", "recycled", "pinned_hits"):
+                merged[field] += live[field]
+            merged["segments_held"] = live["segments_held"]
+            merged["bytes_reserved"] = live["bytes_reserved"]
+            merged["peak_live_leases"] = max(
+                merged["peak_live_leases"], live["peak_live_leases"]
+            )
+        return merged
+
+    @contextlib.contextmanager
+    def _op_buffers(self):
+        """Shared-memory handout for one operation.
+
+        Arena mode leases from the persistent arena (released — i.e.
+        recycled — when the operation ends); ``arena=False`` creates a
+        throwaway arena whose segments are unlinked immediately, which
+        is exactly the PR 3 per-operation behaviour.
+        """
+        if self.use_arena:
+            buffers = _OpBuffers(self._persistent_arena(), pin_inputs=True)
+            try:
+                yield buffers
+            finally:
+                buffers.finish()
+                self.shm_bytes_copied += buffers.bytes_copied
+        else:
+            arena = ShmArena(cache_in_workers=False)
+            buffers = _OpBuffers(arena, pin_inputs=False)
+            try:
+                yield buffers
+            finally:
+                self.shm_bytes_copied += buffers.bytes_copied
+                self._retire_arena(arena)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, plans: "list[list[tuple]]") -> "list[list]":
+        """One exchange barrier: send ``plans[i]`` (a list of fused steps)
+        to worker ``i`` and gather every reply.
+
+        Empty plans are skipped (no message).  Returns one result list
+        per plan, aligned with ``plans``; raises on worker death or any
+        step error.
         """
         self._ensure_pool()
-        for i, command in enumerate(commands):
+        self.dispatch_barriers += 1
+        sent = []
+        for i, plan in enumerate(plans):
+            if not plan:
+                continue
             try:
-                self._pipes[i].send(command)
+                self._pipes[i].send(plan)
             except (BrokenPipeError, OSError) as exc:
                 # Same contract as a recv failure: a dead worker means the
                 # pipes are desynchronised — drop the pool and report.
@@ -472,8 +684,12 @@ class ProcessBackend(ShardedBackend):
                 raise RuntimeError(
                     f"process backend worker {i} died mid-dispatch"
                 ) from exc
-        replies, first_error = [], None
-        for i in range(len(commands)):
+            sent.append(i)
+            self.dispatch_messages += 1
+            self.dispatch_steps += len(plan)
+        replies: "list[list]" = [[] for _ in plans]
+        first_error = None
+        for i in sent:
             try:
                 status, value = self._pipes[i].recv()
             except (EOFError, OSError) as exc:
@@ -485,7 +701,8 @@ class ProcessBackend(ShardedBackend):
                 ) from exc
             if status == "err" and first_error is None:
                 first_error = f"process backend worker {i} failed: {value}"
-            replies.append(value)
+            else:
+                replies[i] = value
         if first_error is not None:
             raise RuntimeError(first_error)
         return replies
@@ -557,14 +774,14 @@ class ProcessBackend(ShardedBackend):
             or not self._shm_safe(table)
         ):
             return super()._kernel_search(table, queries)
-        with _Arena() as arena:
-            table_d = arena.share(table)
-            queries_d = arena.share(queries)
-            out_d, out = arena.alloc((n,) + table.shape[1:], table.dtype)
-            self._run(
+        with self._op_buffers() as buf:
+            table_d = buf.share(table)
+            queries_d = buf.share(queries)
+            out_d, out = buf.alloc((n,) + table.shape[1:], table.dtype)
+            self._dispatch(
                 [
-                    ("search", {"table": table_d, "queries": queries_d,
-                                "out": out_d, "block": block})
+                    [("search", {"table": table_d, "queries": queries_d,
+                                 "out": out_d, "block": block})]
                     for block in self._blocks(n)
                 ]
             )
@@ -580,16 +797,16 @@ class ProcessBackend(ShardedBackend):
             or not self._shm_safe(values)
         ):
             return super()._kernel_sort(values, keys)
-        with _Arena() as arena:
-            keys_d = arena.share(keys)
-            values_d = keys_d if values is keys else arena.share(values)
-            out_values_d, out_values = arena.alloc(values.shape, values.dtype)
-            out_order_d, out_order = arena.alloc((n,), np.int64)
-            self._run(
+        with self._op_buffers() as buf:
+            keys_d = buf.share(keys)
+            values_d = keys_d if values is keys else buf.share(values)
+            out_values_d, out_values = buf.alloc(values.shape, values.dtype)
+            out_order_d, out_order = buf.alloc((n,), np.int64)
+            self._dispatch(
                 [
-                    ("sort", {"keys": keys_d, "values": values_d,
-                              "out_values": out_values_d,
-                              "out_order": out_order_d, "bounds": bounds})
+                    [("sort", {"keys": keys_d, "values": values_d,
+                               "out_values": out_values_d,
+                               "out_order": out_order_d, "bounds": bounds})]
                     for bounds in self._key_bounds(keys)
                 ]
             )
@@ -605,29 +822,30 @@ class ProcessBackend(ShardedBackend):
             or not self._shm_safe(values)
         ):
             return super()._kernel_reduce(keys, values, op)
-        with _Arena() as arena:
-            keys_d = arena.share(keys)
-            values_d = arena.share(values)
-            out_order_d, out_order = arena.alloc((n,), np.int64)
-            out_unique_d, out_unique = arena.alloc((n,), keys.dtype)
-            out_reduced_d, out_reduced = arena.alloc(values.shape, values.dtype)
-            replies = self._run(
+        with self._op_buffers() as buf:
+            keys_d = buf.share(keys)
+            values_d = buf.share(values)
+            out_order_d, out_order = buf.alloc((n,), np.int64)
+            out_unique_d, out_unique = buf.alloc((n,), keys.dtype)
+            out_reduced_d, out_reduced = buf.alloc(values.shape, values.dtype)
+            replies = self._dispatch(
                 [
-                    ("reduce", {"keys": keys_d, "values": values_d,
-                                "out_order": out_order_d,
-                                "out_unique": out_unique_d,
-                                "out_reduced": out_reduced_d,
-                                "bounds": bounds, "op": op})
+                    [("reduce", {"keys": keys_d, "values": values_d,
+                                 "out_order": out_order_d,
+                                 "out_unique": out_unique_d,
+                                 "out_reduced": out_reduced_d,
+                                 "bounds": bounds, "op": op})]
                     for bounds in self._key_bounds(keys)
                 ]
             )
             # Key ranges are disjoint and ascending, so concatenating the
             # per-bucket unique/reduced slices yields the global result.
+            parts = [reply[0] for reply in replies if reply]
             unique = np.concatenate(
-                [out_unique[off : off + cnt] for off, cnt in replies]
+                [out_unique[off : off + cnt] for off, cnt in parts]
             )
             reduced = np.concatenate(
-                [out_reduced[off : off + cnt] for off, cnt in replies]
+                [out_reduced[off : off + cnt] for off, cnt in parts]
             )
             return unique, reduced, out_order.copy()
 
@@ -642,36 +860,54 @@ class ProcessBackend(ShardedBackend):
             or not self._shm_safe(labels)
         ):
             return super()._kernel_min_label(labels, send, recv)
-        with _Arena() as arena:
-            labels_d = arena.share(labels)
-            send_d = arena.share(send)
-            recv_d = arena.share(recv)
-            out_incoming_d, out_incoming = arena.alloc(send.shape, labels.dtype)
-            out_labels_d, out_labels = arena.alloc(labels.shape, labels.dtype)
+        with self._op_buffers() as buf:
+            labels_d = buf.share(labels)
+            send_d = buf.share(send)
+            recv_d = buf.share(recv)
+            out_incoming_d, out_incoming = buf.alloc(send.shape, labels.dtype)
+            out_labels_d, out_labels = buf.alloc(labels.shape, labels.dtype)
             pos_blocks = self._blocks(int(send.shape[0]))
             label_blocks = self._blocks(int(labels.shape[0]))
-            commands = []
+            # Fused plan: each worker's gather and fold steps ride in one
+            # message.  Both steps read only the immutable inputs (labels,
+            # send, recv) and write disjoint outputs, so no barrier is
+            # needed between them and the single reply is the exchange.
+            plans = []
             for w in range(max(len(pos_blocks), len(label_blocks))):
-                commands.append(
-                    ("min_label", {
-                        "labels": labels_d, "send": send_d, "recv": recv_d,
-                        "out_incoming": out_incoming_d,
-                        "out_labels": out_labels_d,
-                        "pos_block": pos_blocks[w] if w < len(pos_blocks) else None,
-                        "label_block": (
-                            label_blocks[w] if w < len(label_blocks) else None
-                        ),
-                    })
-                )
-            self._run(commands)
+                steps = []
+                if w < len(pos_blocks):
+                    steps.append(
+                        ("gather_incoming", {
+                            "labels": labels_d, "send": send_d,
+                            "out_incoming": out_incoming_d,
+                            "block": pos_blocks[w],
+                        })
+                    )
+                if w < len(label_blocks):
+                    steps.append(
+                        ("min_fold", {
+                            "labels": labels_d, "send": send_d, "recv": recv_d,
+                            "out_labels": out_labels_d,
+                            "block": label_blocks[w],
+                        })
+                    )
+                plans.append(steps)
+            self._dispatch(plans)
             return out_labels.copy(), out_incoming.copy()
 
     # -- reporting -----------------------------------------------------------
 
     def stats(self):
-        """Sharded counters plus the pool size (``workers``)."""
+        """Sharded counters plus pool size, arena, and dispatch telemetry."""
         snapshot = super().stats()  # name resolves to "process" already
         snapshot.workers = self.workers
+        snapshot.arena = self.arena_stats()
+        snapshot.dispatch = {
+            "barriers": self.dispatch_barriers,
+            "messages": self.dispatch_messages,
+            "steps": self.dispatch_steps,
+            "shm_bytes_copied": self.shm_bytes_copied,
+        }
         return snapshot
 
 

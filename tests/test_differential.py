@@ -73,6 +73,10 @@ def run_pipeline(graph, backend: str, *, delta: float = 0.5, rng: int = SEED):
         # min_parallel_items would keep laptop-scale ops on the serial
         # kernels and leave the IPC path untested).
         backend = ProcessBackend(workers=2, min_parallel_items=0)
+    elif backend == "process-noarena":
+        # Same pool, transient per-operation segments: the arena toggle
+        # must never change labels, rounds, or counters.
+        backend = ProcessBackend(workers=2, min_parallel_items=0, arena=False)
     try:
         return repro.mpc_connected_components(
             graph, GAP_BOUND, config=config, rng=rng, backend=backend
@@ -95,13 +99,17 @@ class TestDifferential:
         local = run_pipeline(graph, "local")
         sharded = run_pipeline(graph, "sharded")
         process = run_pipeline(graph, "process")
+        noarena = run_pipeline(graph, "process-noarena")
         assert components_agree(local.labels, truth)
         assert components_agree(sharded.labels, truth)
         assert components_agree(process.labels, truth)
-        # Stronger than agreement: the backends are bit-identical.
+        # Stronger than agreement: the backends are bit-identical, with
+        # and without the shared-memory arena.
         assert np.array_equal(local.labels, sharded.labels)
         assert np.array_equal(local.labels, process.labels)
-        assert local.rounds == sharded.rounds == process.rounds
+        assert np.array_equal(local.labels, noarena.labels)
+        assert (local.rounds == sharded.rounds == process.rounds
+                == noarena.rounds)
 
     @pytest.mark.parametrize("baseline", sorted(BASELINES))
     def test_baselines_match_truth(self, family, baseline):
@@ -139,9 +147,13 @@ class TestSeededDeterminism:
         labels_l, rounds_l, phases_l = self._summaries(graph, "local", delta)
         labels_s, rounds_s, phases_s = self._summaries(graph, "sharded", delta)
         labels_p, rounds_p, phases_p = self._summaries(graph, "process", delta)
+        labels_n, rounds_n, phases_n = self._summaries(
+            graph, "process-noarena", delta
+        )
         assert np.array_equal(labels_l, labels_s)
         assert np.array_equal(labels_l, labels_p)
-        assert rounds_l == rounds_s == rounds_p
+        assert np.array_equal(labels_l, labels_n)
+        assert rounds_l == rounds_s == rounds_p == rounds_n
         # Phase breakdowns agree up to the data-plane exchange counters
         # (zero on the accounting-only backend by definition); the two
         # enforced backends must agree on those too.
@@ -151,6 +163,7 @@ class TestSeededDeterminism:
 
         assert strip(phases_l) == strip(phases_s)
         assert phases_s == phases_p
+        assert phases_s == phases_n
 
     def test_different_seed_different_randomness(self, delta):
         # Canonical labels are seed-invariant (they only encode the true

@@ -241,7 +241,21 @@ class TestPoolLifecycle:
         _, parallel = pair
         parallel._ensure_pool()
         with pytest.raises(RuntimeError, match="failed"):
-            parallel._run([("no-such-op", {})])
+            parallel._dispatch([[("no-such-op", {})]])
+
+    def test_worker_death_reports_runtime_error_not_stale_lease(self, pair):
+        # A dead worker closes the backend (arena included) while the
+        # operation's leases are still held; the cleanup must not mask
+        # the worker-death diagnostic with an ArenaLeaseError.
+        _, parallel = pair
+        parallel._ensure_pool()
+        parallel._pipes[0].close()  # simulate a worker dying mid-command
+        with pytest.raises(RuntimeError, match="died mid-dispatch"):
+            parallel.sort(rng().integers(0, 9, 2000))
+        # Pool and arena restart cleanly on the next operation.
+        assert np.array_equal(
+            parallel.sort(np.arange(10, 0, -1)), np.arange(1, 11)
+        )
 
     def test_reset_keeps_pool_but_clears_counters(self, pair):
         _, parallel = pair
@@ -345,3 +359,123 @@ class TestRegistry:
             assert backend._procs  # caller-owned pool stays up
         finally:
             backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Arena integration and fused dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestArenaIntegration:
+    def test_arena_segments_recycle_across_operations(self, pair):
+        _, parallel = pair
+        values = rng().integers(0, 10**6, 3000)
+        parallel.sort(values)
+        cold = parallel.arena_stats()["segments"]
+        for _ in range(5):
+            parallel.sort(values)
+        warm = parallel.arena_stats()
+        assert warm["segments"] == cold  # steady state: zero new segments
+        assert warm["recycled"] > 0
+
+    def test_no_arena_allocates_per_operation(self):
+        backend = ProcessBackend(shard_memory=256, workers=2,
+                                 min_parallel_items=0, arena=False)
+        try:
+            values = rng().integers(0, 10**6, 3000)
+            backend.sort(values)
+            first = backend.arena_stats()["segments"]
+            backend.sort(values)
+            assert backend.arena_stats()["segments"] == 2 * first
+        finally:
+            backend.close()
+
+    def test_arena_toggle_does_not_change_results_or_counters(self):
+        keys = rng().integers(0, 100, 4000)
+        values = rng().integers(0, 10**6, 4000)
+        outputs, counters = [], []
+        for use_arena in (True, False):
+            backend = ProcessBackend(shard_memory=256, workers=WORKERS,
+                                     min_parallel_items=0, arena=use_arena)
+            try:
+                outputs.append(backend.sort(values, order_by=keys))
+                stats = backend.stats()
+                counters.append((stats.exchanges, stats.bytes_exchanged,
+                                 stats.shard_count, stats.peak_shard_load,
+                                 stats.op_counts))
+            finally:
+                backend.close()
+        assert np.array_equal(outputs[0], outputs[1])
+        assert counters[0] == counters[1]
+
+    def test_arena_survives_reset(self, pair):
+        _, parallel = pair
+        parallel.sort(rng().integers(0, 9, 2000))
+        segments = parallel.arena_stats()["segments"]
+        arena = parallel._arena
+        parallel.reset()
+        assert parallel._arena is arena  # segments survive engine resets
+        assert parallel.arena_stats()["segments"] == segments
+        assert parallel.stats().dispatch["barriers"] == 0  # run counters clear
+
+    def test_pinned_inputs_upload_once(self, pair):
+        _, parallel = pair
+        labels = rng().integers(0, 10**9, 2000)
+        send = rng().integers(0, 2000, 7000)
+        recv = rng().integers(0, 2000, 7000)
+        send.setflags(write=False)
+        recv.setflags(write=False)
+        first = parallel.min_label_exchange(labels, send, recv)
+        copied_once = parallel.shm_bytes_copied
+        second = parallel.min_label_exchange(labels, send, recv)
+        assert np.array_equal(first[0], second[0])
+        assert parallel.arena_stats()["pinned_hits"] == 2  # send and recv
+        # The second exchange re-uploaded only the labels, not the 2×7000
+        # incidence words.
+        assert parallel.shm_bytes_copied - copied_once == labels.nbytes
+
+    def test_min_label_is_one_fused_barrier(self, pair):
+        serial, parallel = pair
+        labels = rng().integers(0, 10**9, 2000)
+        send = rng().integers(0, 2000, 7000)
+        recv = rng().integers(0, 2000, 7000)
+        nl_s, _ = serial.min_label_exchange(labels, send, recv)
+        nl_p, _ = parallel.min_label_exchange(labels, send, recv)
+        assert np.array_equal(nl_s, nl_p)
+        dispatch = parallel.stats().dispatch
+        assert dispatch["barriers"] == 1  # gather + fold fused, one barrier
+        assert dispatch["steps"] > dispatch["messages"]  # plans carry >1 step
+
+    def test_stats_embed_arena_and_dispatch(self, pair):
+        serial, parallel = pair
+        parallel.sort(rng().integers(0, 9, 2000))
+        doc = parallel.stats().to_json()
+        assert doc["arena"]["segments"] > 0
+        assert doc["dispatch"]["barriers"] == 1
+        assert serial.stats().to_json()["arena"] is None
+
+    def test_run_case_threads_arena_into_named_backends(self):
+        # --no-arena must reach backends built by name inside experiments
+        # (the bench runner wraps the experiment in default_arena()).
+        from repro.bench.registry import register_benchmark, unregister_benchmark
+        from repro.bench.runner import run_case
+
+        name = "zz_probe_default_arena"
+        params = {"seed": 0}
+
+        @register_benchmark(name, title="probe", headers=["arena"],
+                            smoke=params, full=params)
+        def probe(ctx):
+            backend = make_backend(ctx.backend)
+            ctx.record("probe", use_arena=backend.use_arena)
+
+        try:
+            result = run_case(name, suite="smoke", backend="process",
+                              arena=False)
+            assert result.arena is False
+            assert result.records[0]["use_arena"] is False
+            result = run_case(name, suite="smoke", backend="process")
+            assert result.arena is None
+            assert result.records[0]["use_arena"] is True  # default: on
+        finally:
+            unregister_benchmark(name)
