@@ -1,0 +1,12 @@
+"""E20 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e20``.
+The case itself always exercises the ``ProcessBackend`` and sweeps the
+plan-fusion toggle explicitly (``fuse_plans=True`` vs ``fuse_plans=False``
+instances), so it ignores ``BENCH_BACKEND``; set ``BENCH_WORKERS=N`` to
+resize the pool (default 2).
+"""
+
+
+def test_e20_plan_fusion(bench_case):
+    bench_case("e20_plan_fusion")

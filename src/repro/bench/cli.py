@@ -93,7 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=None, help="kernel timed iterations"
     )
     parser.add_argument(
-        "--list", action="store_true", help="list registered benchmarks and exit"
+        "--list",
+        action="store_true",
+        help="list registered benchmarks (with their suites and tags, for "
+        "picking --filter targets) and exit",
     )
     parser.add_argument(
         "--compare",
@@ -124,7 +127,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.list:
         for spec in specs:
-            print(f"{spec.name:28s} {spec.title}")
+            suites = ",".join(sorted(spec.suites))
+            tags = ",".join(spec.tags) if spec.tags else "-"
+            print(f"{spec.name:28s} [{suites}] tags={tags:24s} {spec.title}")
         return 0
 
     failures = []

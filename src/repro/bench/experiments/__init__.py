@@ -27,6 +27,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e17_backend_comparison,
     e18_parallel_scaling,
     e19_arena_overhead,
+    e20_plan_fusion,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "e17_backend_comparison",
     "e18_parallel_scaling",
     "e19_arena_overhead",
+    "e20_plan_fusion",
 ]

@@ -119,8 +119,13 @@ def e19_arena_overhead(ctx):
     cold_segments = {}
     for use_arena in (True, False):
         mode = "on" if use_arena else "off"
+        # fuse_plans=False holds dispatch semantics at the per-op baseline
+        # so this experiment isolates the arena variable (and its segment
+        # counts stay comparable across commits); e20_plan_fusion owns the
+        # fusion axis.
         backend = ProcessBackend(
-            workers=workers, min_parallel_items=0, arena=use_arena
+            workers=workers, min_parallel_items=0, arena=use_arena,
+            fuse_plans=False,
         )
         try:
             # Cold run: the arena sizes itself (allocations happen here).

@@ -217,7 +217,9 @@ def compare_cases(
     # "exchanges" also matches bytes_exchanged; shard occupancy counters are
     # gated so a backend change that inflates communication fails --compare;
     # "segments" gates shared-memory segment allocations so the arena's
-    # O(1)-allocations-per-run property cannot silently regress.
+    # O(1)-allocations-per-run property cannot silently regress; "barriers"
+    # gates dispatch-barrier counts so plan fusion (one barrier per round
+    # plan, not one per op) cannot silently unfuse.
     counter_suffixes = (
         "rounds",
         "machines",
@@ -227,6 +229,7 @@ def compare_cases(
         "shard_count",
         "shard_load",
         "segments",
+        "barriers",
     )
 
     regressions, improvements, unchanged = [], [], []

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.graph.components import canonical_labels
 from repro.mpc.engine import MPCEngine
+from repro.mpc.plan import PlanBuilder, submit_plan
 from repro.utils.validation import check_positive_int
 
 
@@ -89,10 +90,14 @@ def broadcast_components(
         if stop_after is not None and rounds >= stop_after:
             break
         if backend is not None:
-            # One fused level on the data plane: edge copies read the
-            # sending endpoint's label locally and ship it to the
-            # receiving home (one exchange barrier per level).
-            new_labels, incoming = backend.min_label_exchange(labels, send, recv)
+            # One recorded round per level: edge copies read the sending
+            # endpoint's label locally and ship it to the receiving home
+            # (one exchange barrier on the data plane).
+            builder = PlanBuilder("broadcast-level")
+            outs = builder.min_label_exchange(labels, send, recv)
+            new_labels, incoming = submit_plan(
+                builder.build(outs), engine=engine
+            )
         else:
             incoming = labels[send]
             new_labels = labels.copy()

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.leader_election import leader_election
 from repro.graph.components import canonical_labels
 from repro.mpc.engine import MPCEngine
+from repro.mpc.plan import PlanBuilder, submit_plan
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -62,8 +63,28 @@ class GrowResult:
     telemetry: "list[PhaseTelemetry]"
 
 
+def contract_plan(labels: np.ndarray, batch: np.ndarray):
+    """Record the contraction round (Definition 2) as a
+    :class:`~repro.mpc.plan.RoundPlan`.
+
+    One search (endpoint relabelling) feeding one reduce-by-key (dedup:
+    min edge index per component pair), glued by the registered
+    ``contract_keys`` / ``unpack_pair_keys`` transforms; outputs are
+    ``(edges, representative)``.  Because the search's output feeds the
+    later reduce, a fusing backend executes the whole round in a single
+    dispatch barrier.
+    """
+    builder = PlanBuilder("contract")
+    k = int(labels.max()) + 1
+    endpoint_labels = builder.search(labels, batch.ravel())
+    keys, values = builder.transform("contract_keys", endpoint_labels, k=k)
+    unique_keys, representative = builder.reduce_by_key(keys, values, op="min")
+    edges = builder.transform("unpack_pair_keys", unique_keys, k=k)
+    return builder.build([edges, representative])
+
+
 def contract_batch(
-    labels: np.ndarray, batch: np.ndarray, backend=None
+    labels: np.ndarray, batch: np.ndarray, backend=None, *, engine=None
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Contraction graph of ``batch`` w.r.t. ``labels`` (Definition 2).
 
@@ -71,38 +92,35 @@ def contract_batch(
     in component ids, and for each one the index of an original batch edge
     realising it (the certificate used for spanning trees).
 
-    With an :class:`~repro.mpc.backends.ExecutionBackend`, the endpoint
+    With an ``engine`` (preferred — the submitted plan lands in the
+    engine's trace) or a bare
+    :class:`~repro.mpc.backends.ExecutionBackend`, the round is recorded
+    by :func:`contract_plan` and submitted once: the endpoint
     relabelling runs as one backend search and the dedup as one
     reduce-by-key (min edge index per component pair — identical to the
     ``np.unique`` first-occurrence semantics), so a sharded backend
-    enforces its caps and counts the communication.
+    enforces its caps and counts the communication, and the process
+    backend fuses the pair into a single dispatch barrier.
     """
     labels = np.asarray(labels, dtype=np.int64)
     batch = np.asarray(batch, dtype=np.int64).reshape(-1, 2)
     if batch.shape[0] == 0:
         return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
-    if backend is not None:
-        endpoint_labels = backend.search(labels, batch.ravel()).reshape(-1, 2)
-        cu, cv = endpoint_labels[:, 0], endpoint_labels[:, 1]
-    else:
-        cu = labels[batch[:, 0]]
-        cv = labels[batch[:, 1]]
+    if engine is not None or backend is not None:
+        return submit_plan(
+            contract_plan(labels, batch), engine=engine, backend=backend
+        )
+    cu = labels[batch[:, 0]]
+    cv = labels[batch[:, 1]]
     cross = cu != cv
     idx = np.flatnonzero(cross)
     if idx.size == 0:
         return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
     a = np.minimum(cu[idx], cv[idx])
     b = np.maximum(cu[idx], cv[idx])
-    k = int(labels.max()) + 1
-    keys = a * k + b
-    if backend is not None:
-        unique_keys, representative = backend.reduce_by_key(keys, idx, op="min")
-        edges = np.stack([unique_keys // k, unique_keys % k], axis=1)
-    else:
-        _, first = np.unique(keys, return_index=True)
-        representative = idx[first]
-        edges = np.stack([a[first], b[first]], axis=1)
-    return edges, representative
+    keys = a * (int(labels.max()) + 1) + b
+    _, first = np.unique(keys, return_index=True)
+    return np.stack([a[first], b[first]], axis=1), idx[first]
 
 
 def grow_components(
@@ -140,7 +158,9 @@ def grow_components(
 
         # Work first, charge second: the charge absorbs the backend
         # exchanges the contraction just materialised.
-        edges, representative = contract_batch(labels, batch, backend=backend)
+        edges, representative = contract_batch(
+            labels, batch, backend=backend, engine=engine
+        )
         if engine is not None:
             engine.charge_sort(batch.shape[0], label=f"contract phase {phase_index}")
         k = components_before
@@ -158,7 +178,13 @@ def grow_components(
             tree_parts.append(batch[representative[result.chosen_edge[matched]]])
 
         if backend is not None:
-            new_labels = canonical_labels(backend.search(groups, labels))
+            # One recorded round: search the leader table, canonicalise.
+            builder = PlanBuilder("relabel")
+            raw = builder.search(groups, labels)
+            out = builder.transform("canonical_labels", raw)
+            (new_labels,) = submit_plan(
+                builder.build(out), engine=engine, backend=backend
+            )
         else:
             new_labels = canonical_labels(groups[labels])
 

@@ -49,6 +49,7 @@ from repro.graph.components import canonical_labels
 from repro.graph.graph import Graph
 from repro.mpc.backends import ExecutionBackend, make_backend
 from repro.mpc.engine import MPCEngine
+from repro.mpc.plan import PlanBuilder
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_range
 
@@ -83,7 +84,7 @@ def _finalize_against_graph(
     Returns exact component labels and the number of broadcast rounds
     (0 when the pipeline's labels were already maximal).
     """
-    edges, _ = contract_batch(labels, graph.edges, backend=engine.backend)
+    edges, _ = contract_batch(labels, graph.edges, engine=engine)
     engine.charge_sort(graph.m, label="growability check")
     if edges.shape[0] == 0:
         return canonical_labels(labels), 0
@@ -185,7 +186,9 @@ def _run_stages(
 
     # Place the input on the data plane: a sharded backend checks the edge
     # list fits its fleet before any stage runs (and counts the placement).
-    engine.backend.scatter(graph.edges)
+    # Recorded as a plan so a captured trace replays the placement too.
+    builder = PlanBuilder("scatter-input")
+    engine.run_plan(builder.build(builder.scatter(graph.edges)))
 
     with engine.phase("Step1-Regularize"):
         reg = regularize(

@@ -75,9 +75,7 @@ def random_graph_components(
         if batches
         else np.empty((0, 2), dtype=np.int64)
     )
-    edges, representative = contract_batch(
-        grow.labels, union, backend=engine.backend if engine is not None else None
-    )
+    edges, representative = contract_batch(grow.labels, union, engine=engine)
     k = int(grow.labels.max()) + 1 if grow.labels.size else 0
 
     if engine is not None:

@@ -8,6 +8,14 @@ accounting-only :class:`LocalBackend`, the enforced serial
 on a pool of OS worker processes over shared memory.  Select one with
 ``mpc_connected_components(..., backend="local" | "sharded" | "process")``
 or construct it directly and pass it to :class:`MPCEngine`.
+
+Every backend speaks the round-plan IR of :mod:`repro.mpc.plan`: the
+algorithm layer records each MPC round's op sequence in a
+:class:`RoundPlan` (via :class:`PlanBuilder`) and submits it once
+through ``engine.run_plan``; the process backend fuses plans into fewer
+dispatch barriers, and ``MPCEngine(trace=...)`` +
+:func:`repro.mpc.plan.replay` capture and re-execute the plan stream on
+any backend.
 """
 
 from repro.mpc.algorithms import (
@@ -31,6 +39,20 @@ from repro.mpc.cluster import Cluster
 from repro.mpc.cost import MPCCostModel
 from repro.mpc.engine import MPCEngine, PhaseSummary, RoundCharge
 from repro.mpc.machine import Machine, MachineMemoryError
+from repro.mpc.plan import (
+    OpStep,
+    PlanBuilder,
+    PlanError,
+    PlanTrace,
+    ReplayResult,
+    RoundPlan,
+    SlotRef,
+    execute_plan,
+    parent_local_steps,
+    register_transform,
+    replay,
+    submit_plan,
+)
 from repro.mpc.primitives import distributed_search, distributed_sort, reduce_by_key
 from repro.mpc.process_backend import (
     ProcessBackend,
@@ -53,7 +75,19 @@ __all__ = [
     "BackendStats",
     "ExecutionBackend",
     "LocalBackend",
+    "OpStep",
+    "PlanBuilder",
+    "PlanError",
+    "PlanTrace",
     "ProcessBackend",
+    "ReplayResult",
+    "RoundPlan",
+    "SlotRef",
+    "execute_plan",
+    "parent_local_steps",
+    "register_transform",
+    "replay",
+    "submit_plan",
     "ArenaLease",
     "ArenaLeaseError",
     "ShmArena",

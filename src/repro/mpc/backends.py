@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mpc.machine import MachineMemoryError
+from repro.mpc.plan import RoundPlan, run_plan_steps
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 #: Reduction operators supported by :meth:`ExecutionBackend.reduce_by_key`.
@@ -68,6 +69,29 @@ _REDUCERS = {
     "min": np.minimum,
     "max": np.maximum,
     "sum": np.add,
+}
+
+#: Zeroed arena block for backends without a shared-memory arena, so
+#: ``BackendStats.to_json()`` emits one schema for every backend (the
+#: process backend fills the same keys with live counters).
+ARENA_STATS_ZERO = {
+    "segments": 0,
+    "segments_held": 0,
+    "bytes_reserved": 0,
+    "leases": 0,
+    "recycled": 0,
+    "pinned_hits": 0,
+    "peak_live_leases": 0,
+}
+
+#: Zeroed dispatch block, same contract as :data:`ARENA_STATS_ZERO`.
+DISPATCH_STATS_ZERO = {
+    "barriers": 0,
+    "messages": 0,
+    "steps": 0,
+    "shm_bytes_copied": 0,
+    "serial_fused": 0,
+    "plan_barriers": {},
 }
 
 
@@ -80,14 +104,19 @@ class BackendStats:
     of items any single shard held; ``exchanges`` the number of all-to-all
     barriers executed; ``bytes_exchanged`` the payload bytes that crossed
     shard boundaries.  ``op_counts`` breaks executions down by operation
-    name.  All fields are zero for the accounting-only local backend.
+    name; ``plans`` counts the :class:`~repro.mpc.plan.RoundPlan` batches
+    executed through :meth:`ExecutionBackend.run_plan`.  All fields are
+    zero for the accounting-only local backend.
     ``workers`` is the OS-process pool size of a
     :class:`~repro.mpc.process_backend.ProcessBackend` (``None`` for the
     in-process backends); ``arena`` and ``dispatch`` carry that backend's
     shared-memory arena counters (segment allocations, lease recycling,
     pinned-input hits) and dispatch telemetry (barriers, worker messages,
-    fused steps, bytes copied into shared memory) — ``None`` for backends
-    without a worker pool.
+    fused steps, bytes copied into shared memory, plan-fusion savings) —
+    ``None`` on the dataclass for backends without a worker pool, but
+    :meth:`to_json` always emits both blocks (zeroed where not
+    applicable) so ``--compare`` and downstream tooling never
+    special-case the backend.
     """
 
     name: str
@@ -98,6 +127,7 @@ class BackendStats:
     exchanges: int = 0
     bytes_exchanged: int = 0
     op_counts: "dict[str, int]" = field(default_factory=dict)
+    plans: int = 0
     workers: "int | None" = None
     arena: "dict | None" = None
     dispatch: "dict | None" = None
@@ -105,6 +135,11 @@ class BackendStats:
     def to_json(self) -> dict:
         """Plain-dict form embedded in ``MPCEngine.summary()`` and the
         ``BENCH_*.json`` artifacts.
+
+        One schema for every backend: the ``workers`` scalar and the
+        ``arena``/``dispatch`` blocks carry the same keys everywhere,
+        zero-filled for backends without a worker pool, so consumers
+        index the document without branching on the backend name.
         """
         return {
             "name": self.name,
@@ -115,10 +150,11 @@ class BackendStats:
             "exchanges": self.exchanges,
             "bytes_exchanged": self.bytes_exchanged,
             "op_counts": dict(self.op_counts),
-            "workers": self.workers,
-            "arena": dict(self.arena) if self.arena is not None else None,
-            "dispatch": (
-                dict(self.dispatch) if self.dispatch is not None else None
+            "plans": self.plans,
+            "workers": 0 if self.workers is None else self.workers,
+            "arena": dict(ARENA_STATS_ZERO if self.arena is None else self.arena),
+            "dispatch": dict(
+                DISPATCH_STATS_ZERO if self.dispatch is None else self.dispatch
             ),
         }
 
@@ -205,6 +241,7 @@ class ExecutionBackend:
     def __init__(self) -> None:
         self._op_counts: "dict[str, int]" = {}
         self._exchange_mark = 0
+        self.plans_run = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -215,6 +252,7 @@ class ExecutionBackend:
         """Clear all counters (heavy resources like pools may survive)."""
         self._op_counts.clear()
         self._exchange_mark = 0
+        self.plans_run = 0
 
     def close(self) -> None:
         """Release external resources (processes, files); no-op here.
@@ -237,10 +275,35 @@ class ExecutionBackend:
 
     def stats(self) -> BackendStats:
         """Snapshot of this backend's resource counters."""
-        return BackendStats(name=self.name, op_counts=dict(self._op_counts))
+        return BackendStats(
+            name=self.name,
+            op_counts=dict(self._op_counts),
+            plans=self.plans_run,
+        )
 
     def _count_op(self, op: str) -> None:
         self._op_counts[op] = self._op_counts.get(op, 0) + 1
+
+    # -- round plans ---------------------------------------------------------
+
+    def run_plan(self, plan: RoundPlan) -> tuple:
+        """Execute one :class:`~repro.mpc.plan.RoundPlan`; returns its outputs.
+
+        The default is sequential step execution through the *public*
+        operations — behaviourally identical to the eager calls the plan
+        records, so results, capacity enforcement, and every
+        exchange/byte counter match the unplanned execution bit for bit
+        on any backend.  Subclasses with a dispatch layer may override
+        :meth:`_plan_serial_steps` (or this method) to fuse the plan
+        into fewer barriers; fusion must never change results or model
+        counters, only dispatch cost.
+        """
+        self.plans_run += 1
+        return run_plan_steps(self, plan, self._plan_serial_steps(plan))
+
+    def _plan_serial_steps(self, plan: RoundPlan) -> frozenset:
+        """Step indices to pin to serial kernels (none by default)."""
+        return frozenset()
 
     # -- operations (subclass responsibility) --------------------------------
 
@@ -436,6 +499,7 @@ class ShardedBackend(ExecutionBackend):
             exchanges=self.exchanges,
             bytes_exchanged=self.bytes_exchanged,
             op_counts=dict(self._op_counts),
+            plans=self.plans_run,
         )
 
     # -- compute kernels (overridable; accounting stays in the public ops) ----

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.mpc.backends import ExecutionBackend, LocalBackend
 from repro.mpc.cost import MPCCostModel
+from repro.mpc.plan import PlanTrace, RoundPlan
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 
@@ -91,12 +92,32 @@ class MPCEngine:
         :class:`~repro.mpc.backends.LocalBackend`).  A
         :class:`~repro.mpc.backends.ShardedBackend` without an explicit
         ``shard_memory`` is bound to ``machine_memory`` on attach.
+    trace:
+        Optional plan-stream capture: a path (the trace JSON is written
+        by :meth:`close`) or a :class:`~repro.mpc.plan.PlanTrace` to
+        record into.  Every :meth:`run_plan` appends the executed
+        :class:`~repro.mpc.plan.RoundPlan` plus its outputs;
+        :func:`repro.mpc.plan.replay` re-executes the stream against
+        any backend.
     """
 
-    def __init__(self, machine_memory: int, backend: "ExecutionBackend | None" = None):
+    def __init__(
+        self,
+        machine_memory: int,
+        backend: "ExecutionBackend | None" = None,
+        *,
+        trace: "str | PlanTrace | None" = None,
+    ):
         self.cost = MPCCostModel(machine_memory)
         self.backend = backend if backend is not None else LocalBackend()
         self.backend.attach(self.cost.machine_memory)
+        if trace is None or isinstance(trace, PlanTrace):
+            self.trace = trace
+        else:
+            self.trace = PlanTrace(trace)
+        if self.trace is not None:
+            self.trace.machine_memory = self.cost.machine_memory
+            self.trace.backend = self.backend.name
         self._charges: list[RoundCharge] = []
         self._phase_stack: list[str] = []
         self._peak_items = 0
@@ -111,6 +132,7 @@ class MPCEngine:
         *,
         polylog_exponent: int = 2,
         backend: "ExecutionBackend | None" = None,
+        trace: "str | PlanTrace | None" = None,
     ) -> "MPCEngine":
         """Engine with ``s = ceil(N^δ · log^2 N)`` — the paper's standing
         parameter choice: Theorem 1 runs on machines with
@@ -123,7 +145,7 @@ class MPCEngine:
             raise ValueError(f"delta must be in (0, 1], got {delta}")
         polylog = max(1.0, math.log2(max(total_items, 2))) ** polylog_exponent
         memory = max(2, math.ceil(total_items**delta * polylog))
-        return cls(memory, backend=backend)
+        return cls(memory, backend=backend, trace=trace)
 
     # -- properties ------------------------------------------------------------
 
@@ -194,6 +216,22 @@ class MPCEngine:
     def charge_broadcast(self, total_items: int, label: str = "broadcast") -> None:
         """Charge one broadcast tree over ``total_items`` words."""
         self._add(label, "broadcast", self.cost.broadcast_rounds(total_items), total_items)
+
+    def run_plan(self, plan: "RoundPlan") -> tuple:
+        """Execute one recorded round on the data plane; returns its outputs.
+
+        This is the single seam every algorithm-layer round passes
+        through: the backend chooses its execution strategy (sequential
+        steps, or fused dispatch on the process backend), and when the
+        engine was constructed with ``trace=...`` the plan and its
+        outputs are appended to the capture.  Round *charges* stay
+        separate — callers still charge the engine for the round, and
+        the charge absorbs whatever exchanges the plan materialised.
+        """
+        outputs = self.backend.run_plan(plan)
+        if self.trace is not None:
+            self.trace.record(plan, outputs)
+        return outputs
 
     def note_data_volume(self, total_items: int) -> None:
         """Record a data volume without charging rounds (memory accounting)."""
@@ -267,14 +305,22 @@ class MPCEngine:
         Engines owning a :class:`~repro.mpc.process_backend.ProcessBackend`
         hold OS resources — worker processes and shared-memory arena
         segments — that should be released deterministically rather than
-        left to finalizers.  Counters stay readable after closing and the
+        left to finalizers.  A trace attached with a path is saved here
+        (first, so the capture survives even if the backend teardown
+        raises).  Counters stay readable after closing and the
         backend restarts its resources on demand, so a closed engine
         remains usable.  Also available as a context manager::
 
             with MPCEngine(1024, backend=ProcessBackend()) as engine:
                 ...
         """
-        self.backend.close()
+        try:
+            if self.trace is not None and self.trace.path is not None:
+                self.trace.save()
+        finally:
+            # The backend must release its OS resources even when the
+            # trace cannot be written (unwritable path, full disk).
+            self.backend.close()
 
     def __enter__(self) -> "MPCEngine":
         return self

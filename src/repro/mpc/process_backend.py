@@ -118,6 +118,7 @@ import numpy as np
 
 from repro.mpc.arena import ShmArena
 from repro.mpc.backends import BACKENDS, ShardedBackend, _grouped_reduce
+from repro.mpc.plan import RoundPlan, parent_local_steps
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 #: Below this many words an operation runs on the serial kernels: the
@@ -498,6 +499,18 @@ class ProcessBackend(ShardedBackend):
         the transient per-operation segments of PR 3 (the
         ``e19_arena_overhead`` baseline).  Results are bit-identical
         either way.
+    fuse_plans:
+        ``True`` (default) analyses every
+        :class:`~repro.mpc.plan.RoundPlan` with
+        :func:`~repro.mpc.plan.parent_local_steps` and pins the steps
+        whose outputs feed a later backend op to the serial kernels —
+        their results must be materialised in the parent anyway before
+        the next dispatch can be planned, so skipping their worker
+        round-trip saves a barrier per occurrence (the contract stage's
+        search→reduce pair becomes one barrier).  ``False`` executes
+        plans step-by-eager-step — the pre-fusion baseline the
+        ``e20_plan_fusion`` experiment measures against.  Results and
+        model counters are bit-identical either way.
 
     Raises
     ------
@@ -515,6 +528,7 @@ class ProcessBackend(ShardedBackend):
         workers: "int | None" = None,
         min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
         arena: "bool | None" = None,
+        fuse_plans: bool = True,
     ):
         super().__init__(shard_memory, max_shards=max_shards)
         if workers is None:
@@ -524,15 +538,19 @@ class ProcessBackend(ShardedBackend):
             min_parallel_items, "min_parallel_items"
         )
         self.use_arena = default_arena_enabled() if arena is None else bool(arena)
+        self.fuse_plans = bool(fuse_plans)
         self._arena: "ShmArena | None" = None
         self._arena_retired: "dict[str, int]" = {}
         self._procs: list = []
         self._pipes: list = []
         self._finalizer = None
+        self._serial_depth = 0
         self.dispatch_barriers = 0
         self.dispatch_messages = 0
         self.dispatch_steps = 0
+        self.dispatch_serial_fused = 0
         self.shm_bytes_copied = 0
+        self.plan_barriers: "dict[str, int]" = {}
 
     # -- pool + arena lifecycle ----------------------------------------------
 
@@ -570,7 +588,49 @@ class ProcessBackend(ShardedBackend):
         self.dispatch_barriers = 0
         self.dispatch_messages = 0
         self.dispatch_steps = 0
+        self.dispatch_serial_fused = 0
         self.shm_bytes_copied = 0
+        self.plan_barriers = {}
+
+    # -- round plans ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _serial_kernels(self):
+        """Pin the kernels under this scope to their serial fallbacks.
+
+        Used by plan execution for steps the fusion analysis keeps in
+        the parent (:meth:`_plan_serial_steps`); nesting is allowed and
+        counted once per scope in ``dispatch_serial_fused``.
+        """
+        self._serial_depth += 1
+        self.dispatch_serial_fused += 1
+        try:
+            yield
+        finally:
+            self._serial_depth -= 1
+
+    def _plan_serial_steps(self, plan: RoundPlan) -> frozenset:
+        """The fusion analysis: parent-local steps when fusing is on."""
+        if not self.fuse_plans:
+            return frozenset()
+        return parent_local_steps(plan)
+
+    def run_plan(self, plan: RoundPlan) -> tuple:
+        """Execute a plan, attributing dispatch barriers to its name.
+
+        Inherits the sequential walk (public operations keep all model
+        accounting); the override only records how many dispatch
+        barriers each plan shape cost, which the ``e20_plan_fusion``
+        experiment reads per stage through ``stats().dispatch``.
+        """
+        before = self.dispatch_barriers
+        outputs = super().run_plan(plan)
+        self.plan_barriers[plan.name] = (
+            self.plan_barriers.get(plan.name, 0)
+            + self.dispatch_barriers
+            - before
+        )
+        return outputs
 
     def _ensure_pool(self) -> None:
         if self._procs and all(p.is_alive() for p in self._procs):
@@ -710,7 +770,11 @@ class ProcessBackend(ShardedBackend):
     # -- partitioning --------------------------------------------------------
 
     def _use_pool(self, n: int) -> bool:
-        return n > 0 and n >= self.min_parallel_items
+        return (
+            self._serial_depth == 0
+            and n > 0
+            and n >= self.min_parallel_items
+        )
 
     def _blocks(self, n: int) -> "list[tuple[int, int]]":
         """Shard-aligned position blocks: worker ``w`` owns the
@@ -907,6 +971,8 @@ class ProcessBackend(ShardedBackend):
             "messages": self.dispatch_messages,
             "steps": self.dispatch_steps,
             "shm_bytes_copied": self.shm_bytes_copied,
+            "serial_fused": self.dispatch_serial_fused,
+            "plan_barriers": dict(self.plan_barriers),
         }
         return snapshot
 

@@ -18,6 +18,7 @@ def cli_case():
         headers=["x"],
         smoke={"seed": 1},
         full={"seed": 1},
+        tags=("cli", "zz-probe"),
     )
     def _case(ctx):
         ctx.record("pt", row=[1], x=1, cli_rounds=4)
@@ -31,6 +32,33 @@ def test_list_mode(cli_case, capsys):
     out = capsys.readouterr().out
     assert NAME in out
     assert "cli case" in out
+    # The listing names each case's suites and tags so --filter targets
+    # can be picked without opening the experiment module.
+    assert "[full,smoke]" in out
+    assert "tags=cli,zz-probe" in out
+
+
+def test_list_mode_shows_registered_experiments(capsys):
+    assert cli.main(["--list", "--filter", "e20"]) == 0
+    out = capsys.readouterr().out
+    assert "e20_plan_fusion" in out
+    assert "tags=pipeline,backends,plans" in out
+
+
+def test_list_without_tags_prints_placeholder(capsys):
+    name = "zz_test_cli_untagged"
+
+    @bench.register_benchmark(
+        name, title="untagged", headers=["x"], smoke={}, full={}
+    )
+    def _untagged(ctx):  # pragma: no cover - never run
+        pass
+
+    try:
+        assert cli.main(["--list", "--filter", name]) == 0
+        assert "tags=-" in capsys.readouterr().out
+    finally:
+        bench.unregister_benchmark(name)
 
 
 def test_no_match_is_an_error(capsys):

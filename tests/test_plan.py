@@ -1,0 +1,497 @@
+"""The round-plan IR: builder/validation, fusion analysis, eager-vs-plan
+bit-identity on every backend, and trace capture → replay round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.bench.workloads import Workload
+from repro.core.grow import contract_batch, contract_plan
+from repro.mpc import (
+    LocalBackend,
+    MPCEngine,
+    PlanBuilder,
+    PlanError,
+    PlanTrace,
+    ProcessBackend,
+    ShardedBackend,
+    execute_plan,
+    parent_local_steps,
+    register_transform,
+    replay,
+)
+from repro.mpc.plan import TRANSFORMS, load_trace
+
+SEED = 31
+WORKERS = 2
+
+
+def rng():
+    return np.random.default_rng(SEED)
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ProcessBackend(
+        shard_memory=64, workers=WORKERS, min_parallel_items=0
+    )
+    yield backend
+    backend.close()
+
+
+def contract_inputs(n=40, m=60):
+    g = rng()
+    labels = np.sort(g.integers(0, 8, n)).astype(np.int64)
+    batch = g.integers(0, n, (m, 2)).astype(np.int64)
+    return labels, batch
+
+
+# ---------------------------------------------------------------------------
+# Builder + validation
+# ---------------------------------------------------------------------------
+
+
+class TestBuilderAndValidation:
+    def test_builder_records_steps_and_outputs(self):
+        labels, batch = contract_inputs()
+        plan = contract_plan(labels, batch)
+        assert plan.name == "contract"
+        assert plan.backend_ops() == ["search", "reduce_by_key"]
+        assert len(plan.outputs) == 2
+        assert plan.validate() is plan
+
+    def test_unknown_transform_rejected(self):
+        builder = PlanBuilder("bad")
+        with pytest.raises(PlanError):
+            builder.transform("zz_never_registered", np.arange(3))
+
+    def test_dangling_output_rejected(self):
+        from repro.mpc.plan import RoundPlan, SlotRef
+
+        builder = PlanBuilder("bad")
+        builder.search(np.arange(4), np.arange(4))
+        with pytest.raises(PlanError):
+            builder.build(SlotRef("nowhere"))
+        # The dataclass-level validator catches it too.
+        with pytest.raises(PlanError):
+            RoundPlan(
+                name="bad", steps=(), bindings={}, outputs=("ghost",)
+            ).validate()
+
+    def test_undefined_input_slot_rejected(self):
+        from repro.mpc.plan import OpStep, RoundPlan
+
+        plan = RoundPlan(
+            name="bad",
+            steps=(OpStep("sort", ("missing",), ("out",)),),
+            bindings={},
+            outputs=("out",),
+        )
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_duplicate_transform_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_transform("canonical_labels")(lambda x: x)
+        assert "canonical_labels" in TRANSFORMS
+
+    def test_user_transform_with_declared_arity(self):
+        from repro.mpc.plan import _TRANSFORM_ARITY, transform_arity
+
+        name = "zz_test_split_pair"
+
+        @register_transform(name, n_out=2)
+        def _split(pairs):
+            pairs = np.asarray(pairs).reshape(-1, 2)
+            return pairs[:, 0].copy(), pairs[:, 1].copy()
+
+        try:
+            assert transform_arity(name) == 2
+            builder = PlanBuilder("split")
+            left, right = builder.transform(
+                name, np.array([1, 2, 3, 4], dtype=np.int64)
+            )
+            a, b = execute_plan(LocalBackend(), builder.build([left, right]))
+            assert a.tolist() == [1, 3] and b.tolist() == [2, 4]
+        finally:
+            TRANSFORMS.pop(name, None)
+            _TRANSFORM_ARITY.pop(name, None)
+
+    def test_transform_arity_mismatch_rejected_at_validate(self):
+        from repro.mpc.plan import OpStep, RoundPlan
+
+        plan = RoundPlan(
+            name="bad",
+            steps=(OpStep(
+                "transform", ("in1",), ("a", "b"),
+                {"name": "canonical_labels"},
+            ),),
+            bindings={"in1": np.arange(3)},
+            outputs=("a",),
+        )
+        with pytest.raises(PlanError, match="returns 1"):
+            plan.validate()
+
+    def test_invalid_n_out_rejected(self):
+        with pytest.raises(ValueError):
+            register_transform("zz_bad_arity", n_out=0)
+
+    def test_params_stay_json_scalars(self):
+        labels, batch = contract_inputs()
+        plan = contract_plan(labels, batch)
+        for step in plan.steps:
+            json.dumps(step.params)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Fusion analysis
+# ---------------------------------------------------------------------------
+
+
+class TestFusionAnalysis:
+    def test_contract_plan_pins_the_search(self):
+        labels, batch = contract_inputs()
+        plan = contract_plan(labels, batch)
+        # Step 0 is the search whose output feeds the reduce via the
+        # contract_keys transform: parent-local, barrier saved.
+        assert parent_local_steps(plan) == {0}
+
+    def test_terminal_ops_keep_their_dispatch(self):
+        builder = PlanBuilder("relabel")
+        raw = builder.search(np.arange(8), np.arange(8))
+        out = builder.transform("canonical_labels", raw)
+        plan = builder.build(out)
+        assert parent_local_steps(plan) == frozenset()
+
+    def test_single_op_plans_pin_nothing(self):
+        builder = PlanBuilder("level")
+        outs = builder.min_label_exchange(
+            np.arange(6), np.array([0, 1]), np.array([1, 0])
+        )
+        assert parent_local_steps(builder.build(outs)) == frozenset()
+
+    def test_direct_op_to_op_dependency_is_pinned(self):
+        builder = PlanBuilder("chain")
+        sorted_ref = builder.sort(np.array([3, 1, 2]))
+        builder.search(sorted_ref, np.array([0, 2]))
+        plan = builder.build(sorted_ref)
+        assert 0 in parent_local_steps(plan)
+
+    def test_process_fuse_toggle_changes_barriers_not_results(
+        self, process_backend
+    ):
+        labels, batch = contract_inputs(n=80, m=600)
+        plan = contract_plan(labels, batch)
+
+        process_backend.reset()
+        fused = execute_plan(process_backend, plan)
+        fused_barriers = process_backend.dispatch_barriers
+        fused_counters = (
+            process_backend.exchanges, process_backend.bytes_exchanged
+        )
+        assert process_backend.dispatch_serial_fused == 1
+        assert process_backend.plan_barriers["contract"] == fused_barriers
+
+        unfused = ProcessBackend(
+            shard_memory=64, workers=WORKERS, min_parallel_items=0,
+            fuse_plans=False,
+        )
+        try:
+            eager = execute_plan(unfused, plan)
+            assert unfused.dispatch_barriers == fused_barriers + 1
+            assert unfused.dispatch_serial_fused == 0
+            assert (unfused.exchanges, unfused.bytes_exchanged) == (
+                fused_counters
+            )
+        finally:
+            unfused.close()
+        for a, b in zip(fused, eager):
+            assert np.array_equal(a, b)
+
+    def test_full_pipeline_barriers_strictly_drop(self):
+        graph = Workload("permutation_regular", 384, {"degree": 6}).build(SEED)
+        runs = {}
+        for fused in (True, False):
+            backend = ProcessBackend(
+                workers=WORKERS, min_parallel_items=0, fuse_plans=fused
+            )
+            try:
+                engine = MPCEngine.for_delta(
+                    graph.n + graph.m, CONFIG.delta, backend=backend
+                )
+                result = repro.mpc_connected_components(
+                    graph, 0.1, config=CONFIG, rng=SEED, engine=engine
+                )
+                stats = backend.stats()
+                runs[fused] = (result.labels, result.rounds, stats)
+            finally:
+                backend.close()
+        labels_f, rounds_f, stats_f = runs[True]
+        labels_u, rounds_u, stats_u = runs[False]
+        assert np.array_equal(labels_f, labels_u)
+        assert rounds_f == rounds_u
+        assert (stats_f.exchanges, stats_f.bytes_exchanged) == (
+            stats_u.exchanges, stats_u.bytes_exchanged
+        )
+        # The acceptance criterion: plan fusion strictly cuts the
+        # pipeline's dispatch barriers (the contract search→reduce pair).
+        assert stats_f.dispatch["barriers"] < stats_u.dispatch["barriers"]
+        contract_f = stats_f.dispatch["plan_barriers"]["contract"]
+        contract_u = stats_u.dispatch["plan_barriers"]["contract"]
+        assert contract_f < contract_u
+
+
+# ---------------------------------------------------------------------------
+# Eager vs recorded-then-run_plan bit-identity
+# ---------------------------------------------------------------------------
+
+
+def counters_of(backend):
+    stats = backend.stats()
+    return (stats.exchanges, stats.bytes_exchanged, stats.shard_count,
+            stats.peak_shard_load, stats.op_counts)
+
+
+#: One legal random op invocation: (op name, positional arrays, params).
+def _ops_strategy():
+    small = st.integers(min_value=0, max_value=50)
+    arr = st.lists(small, min_size=1, max_size=48).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    )
+
+    def to_search(pair):
+        table, raw = pair
+        return ("search", (table, raw % table.shape[0]), {})
+
+    def to_reduce(triple):
+        keys, values, op = triple
+        m = min(keys.shape[0], values.shape[0])
+        return ("reduce_by_key", (keys[:m], values[:m]), {"op": op})
+
+    def to_min_label(triple):
+        labels, send, recv = triple
+        m = min(send.shape[0], recv.shape[0])
+        return (
+            "min_label_exchange",
+            (labels, send[:m] % labels.shape[0], recv[:m] % labels.shape[0]),
+            {},
+        )
+
+    sort_step = st.tuples(arr, st.booleans()).map(
+        lambda pair: ("sort", (pair[0],) if pair[1] else
+                      (pair[0], pair[0][::-1].copy()), {})
+    )
+    return st.lists(
+        st.one_of(
+            sort_step,
+            st.tuples(arr, arr).map(to_search),
+            st.tuples(arr, arr, st.sampled_from(["min", "max", "sum"])).map(
+                to_reduce
+            ),
+            st.tuples(arr, arr, arr).map(to_min_label),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+
+
+class TestEagerVsPlanProperty:
+    """Any legal op sequence: eager public-op calls vs recording the same
+    sequence through a PlanBuilder and executing via run_plan must be
+    bit-identical — outputs *and* model counters — on all three backends."""
+
+    @staticmethod
+    def _eager(backend, ops):
+        outputs = []
+        for name, args, params in ops:
+            result = getattr(backend, name)(*args, **params)
+            outputs.extend(result if isinstance(result, tuple) else (result,))
+        return outputs
+
+    @staticmethod
+    def _planned(backend, ops):
+        builder = PlanBuilder("random-sequence")
+        refs = []
+        for name, args, params in ops:
+            out = getattr(builder, name)(*args, **params)
+            refs.extend(out if isinstance(out, tuple) else (out,))
+        return list(execute_plan(backend, builder.build(refs)))
+
+    def _check(self, backend, ops):
+        backend.reset()
+        eager = self._eager(backend, ops)
+        eager_counters = counters_of(backend)
+        backend.reset()
+        planned = self._planned(backend, ops)
+        assert counters_of(backend) == eager_counters
+        assert len(planned) == len(eager)
+        for a, b in zip(eager, planned):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_ops_strategy())
+    def test_local_and_sharded(self, ops):
+        self._check(LocalBackend(), ops)
+        self._check(ShardedBackend(shard_memory=16), ops)
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=_ops_strategy())
+    def test_process(self, process_backend, ops):
+        self._check(process_backend, ops)
+
+    def test_contract_round_matches_eager_calls(self):
+        labels, batch = contract_inputs(n=64, m=300)
+        reference = contract_batch(labels, batch)  # pure numpy path
+        for backend in (
+            LocalBackend(),
+            ShardedBackend(shard_memory=32),
+        ):
+            edges, rep = contract_batch(labels, batch, backend=backend)
+            assert np.array_equal(edges, reference[0])
+            assert np.array_equal(rep, reference[1])
+            assert backend.stats().plans == 1
+
+
+# ---------------------------------------------------------------------------
+# Trace capture + replay
+# ---------------------------------------------------------------------------
+
+
+CONFIG = repro.PipelineConfig(
+    delta=0.5, expander_degree=4, max_walk_length=32, oversample=4,
+    max_phases=2,
+)
+
+
+def capture_pipeline(tmp_path, backend, *, n=256):
+    graph = Workload("permutation_regular", n, {"degree": 6}).build(SEED)
+    path = tmp_path / "trace.json"
+    with MPCEngine.for_delta(
+        graph.n + graph.m, CONFIG.delta, backend=backend, trace=str(path)
+    ) as engine:
+        result = repro.mpc_connected_components(
+            graph, 0.1, config=CONFIG, rng=SEED, engine=engine
+        )
+        captured = engine.backend.stats()
+        trace = engine.trace
+    return path, result, captured, trace
+
+
+class TestTraceRoundTrip:
+    def test_capture_writes_on_close(self, tmp_path):
+        path, result, captured, trace = capture_pipeline(
+            tmp_path, ShardedBackend()
+        )
+        assert path.exists()
+        assert len(trace) > 0
+        doc = load_trace(path)
+        assert doc["backend"] == "sharded"
+        assert doc["machine_memory"] == trace.machine_memory
+        assert len(doc["plans"]) == captured.plans
+
+    def test_replay_reproduces_labels_and_counters(self, tmp_path):
+        path, result, captured, _ = capture_pipeline(
+            tmp_path, ShardedBackend()
+        )
+        for name in ("sharded", "local"):
+            replayed = replay(path, backend=name)
+            assert replayed.ok
+            assert replayed.backend_name == name
+            if name == "sharded":
+                # Same machine memory => the gated communication counters
+                # reproduce exactly.  (shard_count does not: it is peaked
+                # by *engine charges* over control-plane data volumes the
+                # trace deliberately excludes.)
+                assert replayed.stats.exchanges == captured.exchanges
+                assert (replayed.stats.bytes_exchanged
+                        == captured.bytes_exchanged)
+                assert replayed.stats.op_counts == captured.op_counts
+        # The broadcast levels' new-label outputs are part of the stream,
+        # so a faithful replay reproduces the pipeline's labels exactly:
+        # every recorded output matched bit for bit (replayed.ok above).
+
+    def test_replay_on_process_backend(self, tmp_path, process_backend):
+        path, result, captured, _ = capture_pipeline(
+            tmp_path, ShardedBackend()
+        )
+        # By name: the fresh backend adopts the trace's machine memory,
+        # so its fleet (and therefore the gated counters) match the
+        # capture exactly.
+        replayed = replay(path, backend="process")
+        assert replayed.ok
+        assert replayed.stats.exchanges == captured.exchanges
+        assert replayed.stats.bytes_exchanged == captured.bytes_exchanged
+        # An instance with its own shard memory still replays the outputs
+        # bit-identically — counters then describe *its* fleet, not the
+        # captured one.
+        process_backend.reset()
+        also = replay(path, backend=process_backend)
+        assert also.ok
+
+    def test_replay_detects_divergence(self, tmp_path):
+        path, *_ = capture_pipeline(tmp_path, ShardedBackend())
+        doc = json.loads(path.read_text())
+        # Corrupt one non-empty recorded result: replay must notice.
+        import base64
+
+        arr = None
+        for entry in reversed(doc["plans"]):
+            for digest in entry["results"]:
+                if 0 not in doc["arrays"][digest]["shape"]:
+                    arr = doc["arrays"][digest]
+                    break
+            if arr is not None:
+                break
+        raw = np.frombuffer(
+            base64.b64decode(arr["data"]), dtype=np.dtype(arr["dtype"])
+        ).copy()
+        raw.ravel()[0] += 1
+        arr["data"] = base64.b64encode(raw.tobytes()).decode("ascii")
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="diverged"):
+            replay(path, backend="sharded")
+        lenient = replay(path, backend="sharded", verify=False)
+        assert not lenient.ok
+        assert len(lenient.mismatches) >= 1
+
+    def test_trace_schema_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "arrays": {}, "plans": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(path)
+
+    def test_in_memory_trace_needs_path_to_save(self):
+        trace = PlanTrace()
+        with pytest.raises(ValueError):
+            trace.save()
+
+    def test_unwritable_trace_still_closes_backend(self, tmp_path):
+        # close() must release the backend even when the trace save
+        # raises (unwritable path): OS resources may not leak behind a
+        # reporting failure.
+        closed = []
+
+        class Probe(ShardedBackend):
+            def close(self):
+                closed.append(True)
+                super().close()
+
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        engine = MPCEngine(64, backend=Probe(), trace=str(target))
+        engine.run_plan(contract_plan(*contract_inputs()))
+        with pytest.raises(OSError):
+            engine.close()
+        assert closed == [True]
+
+    def test_local_capture_replays_on_sharded(self, tmp_path):
+        # The accounting-only capture carries enough to certify an
+        # enforced backend: the replay seam is backend-agnostic.
+        path, result, _, _ = capture_pipeline(tmp_path, LocalBackend())
+        replayed = replay(path, backend="sharded")
+        assert replayed.ok
+        assert replayed.stats.exchanges > 0

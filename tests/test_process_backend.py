@@ -452,7 +452,16 @@ class TestArenaIntegration:
         doc = parallel.stats().to_json()
         assert doc["arena"]["segments"] > 0
         assert doc["dispatch"]["barriers"] == 1
-        assert serial.stats().to_json()["arena"] is None
+        # Normalized schema: in-process backends emit the same keys,
+        # zero-filled, so artifact consumers never branch on the backend.
+        serial_doc = serial.stats().to_json()
+        assert serial_doc["arena"] == {
+            key: 0 for key in doc["arena"]
+        }
+        assert serial_doc["dispatch"]["barriers"] == 0
+        assert serial_doc["dispatch"]["plan_barriers"] == {}
+        assert set(serial_doc["dispatch"]) == set(doc["dispatch"])
+        assert serial_doc["workers"] == 0
 
     def test_run_case_threads_arena_into_named_backends(self):
         # --no-arena must reach backends built by name inside experiments

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Trace capture + replay smoke gate (CI's differential job).
+
+Runs the full pipeline once with ``MPCEngine(trace=...)`` on a capture
+backend, then replays the recorded plan stream on each replay backend
+and asserts bit-identical outputs and matching exchange counters — the
+same check ``python -m repro.mpc.plan`` performs, packaged as a script
+so the CI step avoids the ``runpy`` re-import warning.
+
+Usage::
+
+    python tools/trace_replay_smoke.py --n 512 \
+        --capture sharded --replay local process
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.mpc.plan import _smoke  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(_smoke())
