@@ -1,0 +1,12 @@
+"""E21 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e21``.
+The case itself always exercises the ``ProcessBackend`` and sweeps every
+registered engine explicitly, so it ignores ``BENCH_BACKEND`` and the
+``--engine`` axis; set ``BENCH_WORKERS=N`` to resize the pools
+(default 2).
+"""
+
+
+def test_e21_engine_race(bench_case):
+    bench_case("e21_engine_race")

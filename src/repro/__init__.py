@@ -20,6 +20,10 @@ Public API highlights
   on a pool of worker processes over shared memory
   (``mpc_connected_components(..., backend="local"|"sharded"|"process")``
   — bit-identical labels and round counts on all three).
+* :mod:`repro.engines` — interchangeable connectivity engines on the
+  round-plan IR (``paper``, ``liu_tarjan``, ``exponentiation``) plus the
+  feature-driven ``portfolio`` dispatcher
+  (``mpc_connected_components(..., engine="portfolio")``).
 * :mod:`repro.graph` — multigraphs, generators, spectra, walks.
 * :mod:`repro.products` / :mod:`repro.sketch` / :mod:`repro.baselines` /
   :mod:`repro.lower_bound` — the substrates (expander products, linear
@@ -37,6 +41,7 @@ from repro import (
     analysis,
     baselines,
     core,
+    engines,
     graph,
     lower_bound,
     mpc,
@@ -59,6 +64,7 @@ __all__ = [
     "analysis",
     "baselines",
     "core",
+    "engines",
     "graph",
     "lower_bound",
     "mpc",

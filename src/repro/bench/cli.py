@@ -24,6 +24,8 @@ from repro.bench.report import (
     write_case_json,
 )
 from repro.bench.runner import run_case
+from repro.engines import engine_names
+from repro.mpc.backends import backend_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         "'process' runs the same sharded kernels on a pool of worker "
         "processes over shared memory (true wall-clock parallelism, "
         "bit-identical labels and counters)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=tuple(engine_names()),
+        default="paper",
+        help="connectivity engine threaded into pipeline experiments "
+        "through the mpc_connected_components(..., engine=) dispatch "
+        "seam: the paper's Theorem 4 pipeline (default), the Liu-Tarjan "
+        "or graph-exponentiation plan-IR engines, or the feature-driven "
+        "portfolio dispatcher",
     )
     parser.add_argument(
         "--workers",
@@ -130,6 +142,9 @@ def main(argv: "list[str] | None" = None) -> int:
             suites = ",".join(sorted(spec.suites))
             tags = ",".join(spec.tags) if spec.tags else "-"
             print(f"{spec.name:28s} [{suites}] tags={tags:24s} {spec.title}")
+        print()
+        print(f"engines:  {', '.join(engine_names())}  (--engine)")
+        print(f"backends: {', '.join(backend_names())}  (--backend)")
         return 0
 
     failures = []
@@ -144,6 +159,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 warmup=args.warmup,
                 repeat=args.repeat,
                 backend=args.backend,
+                engine=args.engine,
                 workers=args.workers,
                 arena=args.arena,
             )

@@ -28,6 +28,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e18_parallel_scaling,
     e19_arena_overhead,
     e20_plan_fusion,
+    e21_engine_race,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "e18_parallel_scaling",
     "e19_arena_overhead",
     "e20_plan_fusion",
+    "e21_engine_race",
 ]

@@ -23,10 +23,15 @@ GAP_BOUND = 0.25
 DEGREE = 6
 
 
-def _pipeline(workload: Workload, seed: int, backend: str = "local"):
+def _pipeline(
+    workload: Workload, seed: int, backend: str = "local", engine: str = "paper"
+):
+    # Through the dispatch seam, not the hardcoded paper pipeline:
+    # --engine races any registered connectivity engine over this sweep.
     graph = workload.build(seed)
     result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=GAP_BOUND, config=CONFIG, rng=seed, backend=backend
+        graph, spectral_gap_bound=GAP_BOUND, config=CONFIG, rng=seed,
+        backend=backend, engine=engine,
     )
     assert components_agree(result.labels, connected_components(graph))
     return result
@@ -61,9 +66,11 @@ def e01_rounds_vs_n(ctx):
     for n in sizes:
         workload = Workload("permutation_regular", n, {"degree": DEGREE})
         if n == sizes[-1]:
-            result = ctx.timeit("pipeline", _pipeline, workload, ctx.seed, ctx.backend)
+            result = ctx.timeit(
+                "pipeline", _pipeline, workload, ctx.seed, ctx.backend, ctx.engine
+            )
         else:
-            result = _pipeline(workload, ctx.seed, ctx.backend)
+            result = _pipeline(workload, ctx.seed, ctx.backend, ctx.engine)
         ours[n] = result.rounds
         htm, mates[n] = _baselines(workload, ctx.seed)
         ctx.record(

@@ -26,6 +26,7 @@ import numpy as np
 import repro
 from repro.bench.registry import register_benchmark
 from repro.bench.workloads import Workload
+from repro.engines import get_engine
 from repro.graph import components_agree, connected_components
 from repro.mpc import LocalBackend, MPCEngine, ShardedBackend
 
@@ -44,14 +45,19 @@ def _config(params: dict) -> "repro.PipelineConfig":
     )
 
 
-def _run(workload: Workload, seed: int, config, backend_factory) -> "tuple":
+def _run(
+    workload: Workload, seed: int, config, backend_factory, engine_name: str
+) -> "tuple":
     graph = workload.build(seed)
     # A fresh backend per run: timeit repeats must not accumulate counters.
     engine = MPCEngine.for_delta(
         max(graph.n + graph.m, 2), DELTA, backend=backend_factory()
     )
-    result = repro.mpc_connected_components(
-        graph, spectral_gap_bound=GAP_BOUND, config=config, rng=seed, engine=engine
+    # Through the engine dispatch seam (not the hardcoded paper
+    # pipeline): --engine certifies any registered algorithm on both
+    # data planes.
+    result = get_engine(engine_name).run(
+        graph, GAP_BOUND, config=config, rng=seed, mpc=engine
     )
     return graph, result, engine
 
@@ -91,19 +97,20 @@ def e17_backend_comparison(ctx):
 
         start = time.perf_counter()
         graph, local_result, local_engine = _run(
-            workload, ctx.seed, config, LocalBackend
+            workload, ctx.seed, config, LocalBackend, ctx.engine
         )
         local_seconds = time.perf_counter() - start
 
         if n == ctx.params["sizes"][-1]:
             _, sharded_result, sharded_engine = ctx.timeit(
-                "sharded-pipeline", _run, workload, ctx.seed, config, ShardedBackend
+                "sharded-pipeline", _run, workload, ctx.seed, config,
+                ShardedBackend, ctx.engine,
             )
             sharded_seconds = ctx.timings[-1].best
         else:
             start = time.perf_counter()
             _, sharded_result, sharded_engine = _run(
-                workload, ctx.seed, config, ShardedBackend
+                workload, ctx.seed, config, ShardedBackend, ctx.engine
             )
             sharded_seconds = time.perf_counter() - start
 

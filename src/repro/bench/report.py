@@ -111,6 +111,8 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         "seed": result.seed,
         # Optional on load (older artifacts predate execution backends).
         "backend": result.backend,
+        # Optional on load (older artifacts predate the engine axis).
+        "engine": result.engine,
         # Optional on load (older artifacts predate the process backend);
         # null unless --workers was passed.
         "workers": result.workers,

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 
 from repro.bench.registry import BenchmarkSpec, get_benchmark
+from repro.engines import engine_names
 from repro.mpc.backends import backend_names
 from repro.mpc.process_backend import default_arena, default_workers
 from repro.utils.rng import ensure_rng
@@ -64,6 +65,7 @@ class CaseResult:
     suite: str
     seed: int
     backend: str
+    engine: str
     workers: "int | None"
     arena: "bool | None"
     params: dict
@@ -92,7 +94,11 @@ class BenchContext:
     ``backend`` is the execution-backend name selected for this run
     (``--backend`` on the CLI); experiments that execute the pipeline
     thread it into ``mpc_connected_components(..., backend=ctx.backend)``
-    so one registered case can be measured on any data plane.  ``workers``
+    so one registered case can be measured on any data plane.  ``engine``
+    is the connectivity-engine name selected with ``--engine`` (default
+    ``"paper"``); pipeline experiments thread it the same way
+    (``engine=ctx.engine``) so one registered case can race any
+    registered algorithm through the dispatch seam.  ``workers``
     is the ``--workers`` pool-size override for the ``process`` backend
     (``None`` means each experiment picks its own default); ``arena`` is
     the ``--arena``/``--no-arena`` toggle for that backend's persistent
@@ -107,6 +113,7 @@ class BenchContext:
         warmup: int,
         repeat: int,
         backend: str = "local",
+        engine: str = "paper",
         workers: "int | None" = None,
         arena: "bool | None" = None,
     ):
@@ -114,12 +121,17 @@ class BenchContext:
             raise ValueError(
                 f"unknown backend {backend!r}; available: {backend_names()}"
             )
+        if engine not in engine_names():
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {engine_names()}"
+            )
         if workers is not None and int(workers) < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.spec = spec
         self.suite = suite
         self.seed = int(seed)
         self.backend = backend
+        self.engine = engine
         self.workers = None if workers is None else int(workers)
         self.arena = None if arena is None else bool(arena)
         self.params = spec.params_for(suite)
@@ -209,6 +221,7 @@ def run_case(
     warmup: "int | None" = None,
     repeat: "int | None" = None,
     backend: str = "local",
+    engine: str = "paper",
     workers: "int | None" = None,
     arena: "bool | None" = None,
 ) -> CaseResult:
@@ -224,6 +237,9 @@ def run_case(
         Overrides for the suite's base seed and kernel timing policy.
     backend:
         Execution-backend name threaded into the experiment context.
+    engine:
+        Connectivity-engine name threaded into the experiment context
+        (the ``--engine`` flag; default ``"paper"``).
     workers:
         Optional ``process``-backend pool size (the ``--workers`` flag).
     arena:
@@ -235,7 +251,7 @@ def run_case(
     KeyError
         ``name`` is not a registered benchmark.
     ValueError
-        Unknown backend name or non-positive ``workers``.
+        Unknown backend or engine name, or non-positive ``workers``.
     """
     spec = get_benchmark(name)
     default_warmup, default_repeat = DEFAULT_TIMING.get(suite, (0, 1))
@@ -246,6 +262,7 @@ def run_case(
         warmup=default_warmup if warmup is None else warmup,
         repeat=default_repeat if repeat is None else repeat,
         backend=backend,
+        engine=engine,
         workers=workers,
         arena=arena,
     )
@@ -262,6 +279,7 @@ def run_case(
         suite=suite,
         seed=ctx.seed,
         backend=ctx.backend,
+        engine=ctx.engine,
         workers=ctx.workers,
         arena=ctx.arena,
         params=dict(ctx.params),

@@ -99,7 +99,7 @@ def mpc_connected_components(
     *,
     config: "PipelineConfig | None" = None,
     rng=None,
-    engine: "MPCEngine | None" = None,
+    engine: "MPCEngine | str | object | None" = None,
     backend: "str | ExecutionBackend | None" = None,
     walk_mode: str = "direct",
     finalize: bool = True,
@@ -115,9 +115,19 @@ def mpc_connected_components(
         The paper's ``λ ∈ (0, 1]``: a lower bound on ``λ₂`` of every
         connected component.  Smaller bounds mean longer walks
         (``T = O(log(n/γ)/λ)``) and more rounds.
-    config, rng, engine:
-        Tuning constants, randomness, and the accounting engine (a fresh
-        ``MPCEngine.for_delta`` is created from ``config.delta`` if absent).
+    config, rng:
+        Tuning constants and randomness.
+    engine:
+        Either the accounting :class:`~repro.mpc.engine.MPCEngine` (a
+        fresh ``MPCEngine.for_delta`` is created from ``config.delta``
+        if absent) or an *algorithm engine* selector — the name or
+        instance of a registered :mod:`repro.engines` connectivity
+        engine (``"paper"``, ``"liu_tarjan"``, ``"exponentiation"``,
+        ``"portfolio"``).  An algorithm engine runs on a fresh
+        accounting engine built from ``config.delta`` over the
+        ``backend`` argument; to combine a named engine with your own
+        ``MPCEngine`` (e.g. for trace capture), call
+        ``repro.engines.get_engine(name).run(..., mpc=...)`` directly.
     backend:
         Execution backend for the data plane: ``"local"`` (accounting
         only, the default), ``"sharded"`` (numpy shards with enforced
@@ -137,6 +147,26 @@ def mpc_connected_components(
         spectral_gap_bound, "spectral_gap_bound", 1e-12, 2.0
     )
     rng = ensure_rng(rng)
+    if engine is not None and not isinstance(engine, MPCEngine):
+        # Algorithm-engine dispatch: a registered connectivity engine
+        # (by name or instance) runs on a fresh accounting engine over
+        # the requested backend.  Lazy import — repro.engines depends
+        # on this module.
+        from repro.engines import resolve_engine
+
+        algorithm = resolve_engine(engine)
+        owns_backend = not isinstance(backend, ExecutionBackend)
+        mpc = MPCEngine.for_delta(
+            max(graph.n + graph.m, 2), config.delta, backend=make_backend(backend)
+        )
+        try:
+            return algorithm.run(
+                graph, spectral_gap_bound, config=config, rng=rng, mpc=mpc,
+                walk_mode=walk_mode, finalize=finalize,
+            )
+        finally:
+            if owns_backend:
+                mpc.backend.close()
     # When the engine (and therefore its backend) is built here from a
     # string spec, this call owns it and must release any external
     # resources (e.g. a ProcessBackend's worker pool) before returning;

@@ -1,0 +1,48 @@
+"""Interchangeable connectivity engines on the round-plan IR.
+
+Public surface of the engine layer: the
+:class:`~repro.engines.base.ConnectivityEngine` contract, the registry
+(:func:`register_engine` / :func:`get_engine` / :func:`engine_names` /
+:func:`resolve_engine`), and the four registered engines — ``paper``
+(Theorem 4), ``liu_tarjan`` (arXiv:1812.06177), ``exponentiation``
+(arXiv:1910.05385), and the feature-driven ``portfolio`` dispatcher.
+
+Importing this package registers every engine plus the machine-local
+transforms their plans use, so a trace captured from any engine replays
+by name (``repro`` imports it eagerly for exactly that reason).  See
+``docs/engines.md`` for the contract and the dispatch rule.
+"""
+
+from repro.engines.base import (
+    ENGINES,
+    ConnectivityEngine,
+    engine_names,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
+from repro.engines.exponentiation import ExponentiationEngine
+from repro.engines.liu_tarjan import LiuTarjanEngine
+from repro.engines.paper import PaperEngine
+from repro.engines.portfolio import (
+    PortfolioEngine,
+    WorkloadFeatures,
+    choose_engine,
+    estimate_features,
+)
+
+__all__ = [
+    "ENGINES",
+    "ConnectivityEngine",
+    "ExponentiationEngine",
+    "LiuTarjanEngine",
+    "PaperEngine",
+    "PortfolioEngine",
+    "WorkloadFeatures",
+    "choose_engine",
+    "engine_names",
+    "estimate_features",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
+]

@@ -755,10 +755,17 @@ def _smoke(argv: "list[str] | None" = None) -> int:  # pragma: no cover
     parser.add_argument(
         "--out", default=None, help="trace path (default: a temp file)"
     )
+    parser.add_argument(
+        "--engine",
+        default="paper",
+        help="connectivity engine whose plan stream is captured "
+        "(any repro.engines name; default: paper)",
+    )
     args = parser.parse_args(argv)
 
     import repro
     from repro.bench.workloads import Workload
+    from repro.engines import get_engine
     from repro.mpc import MPCEngine, make_backend
 
     graph = Workload("permutation_regular", args.n, {"degree": 6}).build(7)
@@ -778,13 +785,18 @@ def _smoke(argv: "list[str] | None" = None) -> int:  # pragma: no cover
         with MPCEngine.for_delta(
             graph.n + graph.m, config.delta, backend=backend, trace=out
         ) as engine:
-            result = repro.mpc_connected_components(
-                graph, 0.1, config=config, rng=7, engine=engine
+            # Through the engine registry so any algorithm's plan stream
+            # (paper pipeline, liu_tarjan, exponentiation) gets the same
+            # capture/replay gate; "paper" is bit-identical to the legacy
+            # mpc_connected_components(engine=MPCEngine) path.
+            result = get_engine(args.engine).run(
+                graph, 0.1, config=config, rng=7, mpc=engine
             )
             captured = engine.backend.stats()
         print(
-            f"captured {len(engine.trace)} plans on {args.capture!r} -> "
-            f"{out} ({result.rounds} rounds, {captured.exchanges} exchanges)"
+            f"captured {len(engine.trace)} plans [{args.engine}] on "
+            f"{args.capture!r} -> {out} "
+            f"({result.rounds} rounds, {captured.exchanges} exchanges)"
         )
         for name in args.replay:
             replayed = replay(out, backend=name)

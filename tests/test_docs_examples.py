@@ -49,7 +49,8 @@ def block_params():
 def test_documentation_files_exist():
     """The documented tree must actually ship (guards against renames)."""
     for name in ("README.md", "docs/architecture.md", "docs/backends.md",
-                 "docs/benchmarks.md", "docs/performance.md", "docs/api.md"):
+                 "docs/benchmarks.md", "docs/engines.md",
+                 "docs/performance.md", "docs/api.md"):
         assert (REPO_ROOT / name).exists(), f"missing documentation file {name}"
 
 

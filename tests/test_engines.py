@@ -1,0 +1,263 @@
+"""Engine/backend cross-product certification.
+
+The engine layer's contract (``docs/engines.md``) is differential: every
+registered connectivity engine must produce the *exact* component
+partition — bit-identical across all execution backends — and its plan
+stream must capture and replay like the paper pipeline's.  This module
+gates:
+
+* **Differential** — ``liu_tarjan`` and ``exponentiation`` vs the
+  union-find ground truth across all 12 generator families on
+  local/sharded/process±arena, with bit-identical labels and equal
+  round counts;
+* **Replay** — a hypothesis property: each engine's recorded plans
+  replay bit-identically (labels and exchange counters) on all three
+  backends, for arbitrary random multigraphs;
+* **Portfolio** — the dispatcher never returns labels differing from
+  the paper engine, and its feature rules pick the documented regimes;
+* **Registry and front-end dispatch** — ``engine="paper"`` is
+  bit-identical to the default path, unknown names fail loudly, and the
+  ``engine=``/``backend=`` seam composes.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.bench.workloads import Workload, family_names
+from repro.engines import (
+    ConnectivityEngine,
+    choose_engine,
+    engine_names,
+    estimate_features,
+    get_engine,
+    resolve_engine,
+)
+from repro.graph import Graph, canonical_labels, components_agree
+from repro.graph.union_find import DisjointSetUnion
+from repro.mpc import MPCEngine, ProcessBackend, ShardedBackend
+from repro.mpc.plan import replay
+
+CONFIG = repro.PipelineConfig(
+    delta=0.5, expander_degree=4, max_walk_length=32, oversample=4, max_phases=2
+)
+GAP_BOUND = 0.1
+SEED = 23
+SIZE_OVERRIDES = {"complete": 64, "hypercube": 64}
+NEW_ENGINES = ("liu_tarjan", "exponentiation")
+
+
+def union_find_truth(graph) -> np.ndarray:
+    """Sequential ground truth: DSU over the edge list."""
+    dsu = DisjointSetUnion(graph.n)
+    dsu.union_edges(graph.edges)
+    return canonical_labels(dsu.labels())
+
+
+def build(family: str, n: int = 192):
+    return Workload(family, SIZE_OVERRIDES.get(family, n)).build(SEED)
+
+
+def run_engine(graph, engine: str, backend: str):
+    """One engine run through the public front-end on a named backend."""
+    if backend == "process":
+        backend = ProcessBackend(workers=2, min_parallel_items=0)
+    elif backend == "process-noarena":
+        backend = ProcessBackend(workers=2, min_parallel_items=0, arena=False)
+    try:
+        return repro.mpc_connected_components(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED, engine=engine,
+            backend=backend,
+        )
+    finally:
+        if isinstance(backend, ProcessBackend):
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Differential: both new engines, all 12 families, all backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", NEW_ENGINES)
+@pytest.mark.parametrize("family", family_names())
+class TestEngineDifferential:
+    def test_all_backends_match_truth(self, family, engine):
+        graph = build(family)
+        truth = union_find_truth(graph)
+        local = run_engine(graph, engine, "local")
+        sharded = run_engine(graph, engine, "sharded")
+        process = run_engine(graph, engine, "process")
+        noarena = run_engine(graph, engine, "process-noarena")
+        assert components_agree(local.labels, truth)
+        # Stronger than agreement: engines canonicalise, so the labels
+        # are bit-identical to the canonical truth and across backends.
+        assert np.array_equal(local.labels, truth)
+        assert np.array_equal(local.labels, sharded.labels)
+        assert np.array_equal(local.labels, process.labels)
+        assert np.array_equal(local.labels, noarena.labels)
+        assert (local.rounds == sharded.rounds == process.rounds
+                == noarena.rounds)
+
+
+@pytest.mark.parametrize("family", family_names())
+def test_portfolio_matches_paper_labels(family):
+    """The dispatcher must never change the answer, only the cost."""
+    graph = build(family)
+    paper = repro.mpc_connected_components(
+        graph, GAP_BOUND, config=CONFIG, rng=SEED, engine="paper"
+    )
+    portfolio = repro.mpc_connected_components(
+        graph, GAP_BOUND, config=CONFIG, rng=SEED, engine="portfolio"
+    )
+    assert np.array_equal(portfolio.labels, paper.labels)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: recorded plans replay bit-identically on all three backends
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def multigraphs(draw):
+    """Arbitrary small multigraphs (self-loops and parallel edges too)."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=60))
+    endpoint = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(
+        st.lists(st.tuples(endpoint, endpoint), min_size=m, max_size=m)
+    )
+    return Graph(n, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@pytest.mark.parametrize("engine", NEW_ENGINES)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(graph=multigraphs())
+def test_engine_trace_replays_on_all_backends(tmp_path, engine, graph):
+    """Capture on sharded; replay must be bit-identical on every backend.
+
+    ``ReplayResult.ok`` certifies every plan output (including the final
+    labels) matches the capture bit-for-bit; the exchange counters must
+    reproduce exactly on the enforced backends and be zero on the
+    accounting-only local backend.
+    """
+    path = pathlib.Path(tmp_path) / f"{engine}-{graph.n}-{graph.m}.json"
+    backend = ShardedBackend()
+    with MPCEngine.for_delta(
+        max(graph.n + graph.m, 2), CONFIG.delta, backend=backend,
+        trace=str(path),
+    ) as mpc:
+        result = get_engine(engine).run(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED, mpc=mpc
+        )
+        captured = backend.stats().exchanges
+    assert np.array_equal(result.labels, union_find_truth(graph))
+    for name in ("local", "sharded", "process"):
+        replayed = replay(path, backend=name)
+        assert replayed.ok
+        expected = 0 if name == "local" else captured
+        assert replayed.stats.exchanges == expected
+
+
+# ---------------------------------------------------------------------------
+# Portfolio feature rules
+# ---------------------------------------------------------------------------
+
+
+class TestPortfolioDispatch:
+    def test_low_diameter_picks_exponentiation(self):
+        features = estimate_features(build("star"), GAP_BOUND)
+        assert features.est_diameter <= 2
+        assert choose_engine(features) == "exponentiation"
+
+    def test_high_diameter_weak_gap_picks_liu_tarjan(self):
+        features = estimate_features(build("path"), GAP_BOUND)
+        assert features.est_diameter == 191
+        assert choose_engine(features) == "liu_tarjan"
+
+    def test_high_diameter_strong_gap_picks_paper(self):
+        features = estimate_features(build("path"), 0.5)
+        assert choose_engine(features) == "paper"
+
+    def test_empty_graph_features(self):
+        features = estimate_features(Graph(5, np.empty((0, 2), dtype=np.int64)), 0.1)
+        assert features.est_diameter == 0 and features.m == 0
+
+
+# ---------------------------------------------------------------------------
+# Registry and front-end dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestEngineRegistry:
+    def test_registered_names(self):
+        assert engine_names() == [
+            "exponentiation", "liu_tarjan", "paper", "portfolio",
+        ]
+
+    def test_get_engine_unknown_name(self):
+        with pytest.raises(KeyError, match="liu_tarjan"):
+            get_engine("nope")
+
+    def test_resolve_engine_passthrough_and_typeerror(self):
+        instance = get_engine("paper")
+        assert resolve_engine(instance) is instance
+        assert resolve_engine("paper") is instance
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+
+    def test_base_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ConnectivityEngine().run(build("cycle", 8), GAP_BOUND)
+
+    def test_paper_engine_matches_default_path(self):
+        graph = build("permutation_regular", 256)
+        default = repro.mpc_connected_components(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED
+        )
+        named = repro.mpc_connected_components(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED, engine="paper"
+        )
+        assert np.array_equal(default.labels, named.labels)
+        assert default.rounds == named.rounds
+        summaries = [p.to_json() for p in default.engine.phase_summaries()]
+        assert summaries == [p.to_json() for p in named.engine.phase_summaries()]
+
+    def test_named_engine_with_backend_instance_stays_open(self):
+        graph = build("cycle", 64)
+        backend = ShardedBackend()
+        result = repro.mpc_connected_components(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED,
+            engine="liu_tarjan", backend=backend,
+        )
+        assert backend.stats().plans > 0
+        assert np.array_equal(result.labels, union_find_truth(graph))
+
+    def test_mpc_engine_argument_still_accounts(self):
+        graph = build("cycle", 64)
+        mpc = MPCEngine(256)
+        result = repro.mpc_connected_components(
+            graph, GAP_BOUND, config=CONFIG, rng=SEED, engine=mpc
+        )
+        assert result.engine is mpc and mpc.rounds == result.rounds
+
+    def test_engines_ignore_gap_and_seed(self):
+        """The label-propagation engines are deterministic: gap bound
+        and RNG seed must not change anything."""
+        graph = build("dumbbell", 128)
+        runs = [
+            repro.mpc_connected_components(
+                graph, gap, config=CONFIG, rng=seed, engine="exponentiation"
+            )
+            for gap, seed in ((0.1, 1), (0.9, 2))
+        ]
+        assert np.array_equal(runs[0].labels, runs[1].labels)
+        assert runs[0].rounds == runs[1].rounds

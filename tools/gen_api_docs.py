@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Generate ``docs/api.md`` from the public docstrings of ``repro.mpc``
-and ``repro.core``.
+"""Generate ``docs/api.md`` from the public docstrings of ``repro.mpc``,
+``repro.core``, and ``repro.engines``.
 
 The page is *derived*, never hand-edited: this script walks both
 packages, collects every public class and function (module ``__all__``
@@ -31,23 +31,25 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "docs" / "api.md"
 
-#: The packages whose public surface is documented (the same two the
-#: pydocstyle D1 rules gate in pyproject.toml).
-PACKAGES = ("repro.mpc", "repro.core")
+#: The packages whose public surface is documented (the same ones the
+#: pydocstyle D1 rules gate in CI's docs job).
+PACKAGES = ("repro.mpc", "repro.core", "repro.engines")
 
 HEADER = """\
-# API reference — `repro.mpc` + `repro.core`
+# API reference — `repro.mpc` + `repro.core` + `repro.engines`
 
 > **Generated file — do not edit.**  Regenerate with
 > `python tools/gen_api_docs.py`; CI fails if this page drifts from the
 > docstrings it is built from.  For guides, see
 > [architecture.md](architecture.md), [backends.md](backends.md),
-> [performance.md](performance.md), and [benchmarks.md](benchmarks.md).
+> [engines.md](engines.md), [performance.md](performance.md), and
+> [benchmarks.md](benchmarks.md).
 
 This page lists every public class and function of the MPC simulator
-(`repro.mpc`: engine, execution backends, shared-memory arena, cluster)
-and the Theorem 4 pipeline stages (`repro.core`), with their signatures
-and docstrings verbatim.
+(`repro.mpc`: engine, execution backends, shared-memory arena, cluster),
+the Theorem 4 pipeline stages (`repro.core`), and the pluggable
+connectivity engines (`repro.engines`), with their signatures and
+docstrings verbatim.
 """
 
 

@@ -11,6 +11,10 @@ Usage::
 
     python tools/trace_replay_smoke.py --n 512 \
         --capture sharded --replay local process
+
+``--engine NAME`` captures any registered connectivity engine's plan
+stream instead of the paper pipeline's; ``--out PATH`` keeps the trace
+file (CI uploads it as an artifact).
 """
 
 import pathlib
