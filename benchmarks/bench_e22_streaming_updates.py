@@ -1,0 +1,11 @@
+"""E22 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e22``.
+Set ``BENCH_ENGINE`` / ``BENCH_BACKEND`` to route the oracle-recompute
+fallback through a different connectivity engine or execution backend;
+the sketch-update path itself is backend-independent.
+"""
+
+
+def test_e22_streaming_updates(bench_case):
+    bench_case("e22_streaming_updates")

@@ -24,6 +24,10 @@ Public API highlights
   round-plan IR (``paper``, ``liu_tarjan``, ``exponentiation``) plus the
   feature-driven ``portfolio`` dispatcher
   (``mpc_connected_components(..., engine="portfolio")``).
+* :mod:`repro.streaming` — the dynamic-graph workload: batched edge
+  insert/delete streams applied as signed updates to a maintained AGM
+  sketch (``StreamingConnectivity``), with full-recompute oracle
+  fallback through any registered engine/backend.
 * :mod:`repro.graph` — multigraphs, generators, spectra, walks.
 * :mod:`repro.products` / :mod:`repro.sketch` / :mod:`repro.baselines` /
   :mod:`repro.lower_bound` — the substrates (expander products, linear
@@ -47,6 +51,7 @@ from repro import (
     mpc,
     products,
     sketch,
+    streaming,
     theory,
 )
 from repro.core import (
@@ -70,6 +75,7 @@ __all__ = [
     "mpc",
     "products",
     "sketch",
+    "streaming",
     "theory",
     "Graph",
     "MPCEngine",

@@ -29,6 +29,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e19_arena_overhead,
     e20_plan_fusion,
     e21_engine_race,
+    e22_streaming_updates,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "e19_arena_overhead",
     "e20_plan_fusion",
     "e21_engine_race",
+    "e22_streaming_updates",
 ]

@@ -4,6 +4,7 @@ from repro.sketch.agm import (
     AGMSketch,
     RoundSketch,
     agm_connected_components,
+    agm_decode_components,
 )
 from repro.sketch.hashing import MERSENNE_P, KWiseHash, sign_hash
 from repro.sketch.l0_sampler import L0Sampler
@@ -20,4 +21,5 @@ __all__ = [
     "AGMSketch",
     "RoundSketch",
     "agm_connected_components",
+    "agm_decode_components",
 ]

@@ -8,7 +8,14 @@ which internal edges cancel and exactly the cut edges ``∂S`` survive.  A
 coordinator can therefore run Borůvka purely on sketch sums: each round it
 samples one cut edge per current component and merges; ``O(log n)`` rounds
 with a *fresh* sketch per round (to keep samples independent of earlier
-merges) find the components w.h.p.
+merges) find the components w.h.p.  One extra fresh sketch is reserved as
+the *verification round*: after the merge rounds it re-checks quiescence
+without ever having been consumed by a merge, preserving independence.
+
+Linearity also makes the sketch a *streaming* structure: an edge
+insert/delete stream is just more signed incidence updates
+(:meth:`RoundSketch.update_edges` with weight ``-1`` for a delete), which
+is what :mod:`repro.streaming` builds on.
 
 Implementation notes: all per-vertex samplers of one Borůvka round live in
 four numpy arrays (counters indexed ``vertex × level × row × column``), so
@@ -58,55 +65,58 @@ class RoundSketch:
         levels, rows, cols = self.shape
         return 3 * levels * rows * cols
 
+    def update_edges(self, edges, weights=None) -> None:
+        """Apply signed edge updates to the per-vertex incidence sketches.
 
-def _build_round_sketch(
-    graph: Graph,
-    *,
-    rng,
-    sparsity: int,
-    rows: int,
-) -> RoundSketch:
-    n = graph.n
-    universe = n * n
-    if universe >= MERSENNE_P:
-        raise ValueError(
-            f"edge universe {universe} exceeds the hash field; "
-            f"AGM sketches here support n <= {int(MERSENNE_P**0.5)}"
-        )
-    levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
-    cols = 2 * sparsity
-    level_hash = KWiseHash(2, rng)
-    row_hashes = [KWiseHash(2, rng) for _ in range(rows)]
-    fingerprint_base = int(ensure_rng(rng).integers(2, MERSENNE_P - 1))
-
-    totals = np.zeros((n, levels, rows, cols), dtype=np.int64)
-    moments = np.zeros((n, levels, rows, cols), dtype=np.int64)
-    fingers = np.zeros((n, levels, rows, cols), dtype=np.int64)
-
-    edges = graph.edges
-    if edges.shape[0]:
+        ``edges`` is an ``(m, 2)`` array of endpoints; ``weights`` gives
+        each row's multiplicity delta (``+1`` insert, ``-1`` delete;
+        defaults to all ``+1``).  Linearity means a delete is exactly the
+        negation of the insert, so an insert-then-delete round trip
+        returns every counter to zero bit-for-bit.  Self-loops and
+        zero-weight rows carry no connectivity information and are
+        skipped.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            return
+        edges = edges.reshape(-1, 2)
+        if weights is None:
+            weights = np.ones(edges.shape[0], dtype=np.int64)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.shape != (edges.shape[0],):
+                raise ValueError(
+                    f"weights shape {weights.shape} does not match "
+                    f"{edges.shape[0]} edges"
+                )
+        if edges.min() < 0 or edges.max() >= self.n:
+            raise ValueError(f"edge endpoint out of range [0, {self.n})")
         u = edges[:, 0]
         v = edges[:, 1]
-        keep = u != v  # self-loops carry no connectivity information
-        u, v = u[keep], v[keep]
+        keep = (u != v) & (weights != 0)
+        if not keep.any():
+            return
+        u, v, weights = u[keep], v[keep], weights[keep]
         lo = np.minimum(u, v)
         hi = np.maximum(u, v)
-        edge_ids = lo * n + hi
-        # Two incidence updates per edge: +1 at the smaller endpoint's
-        # sketch, -1 at the larger's.
+        edge_ids = lo * self.n + hi
+        # Two incidence updates per edge: +w at the smaller endpoint's
+        # sketch, -w at the larger's.
         owners = np.concatenate([lo, hi])
         ids = np.concatenate([edge_ids, edge_ids])
-        weights = np.concatenate(
-            [np.ones(lo.size, np.int64), -np.ones(hi.size, np.int64)]
-        )
+        signed = np.concatenate([weights, -weights])
 
-        depth = level_hash.level(ids, levels - 1)
+        levels, rows, cols = self.shape
+        depth = self.level_hash.level(ids, levels - 1)
         powers = _pow_mod(
-            np.full(ids.shape, fingerprint_base), ids, MERSENNE_P
+            np.full(ids.shape, self.fingerprint_base), ids, MERSENNE_P
         ).astype(np.int64)
-        finger_contrib = np.where(weights > 0, powers, (MERSENNE_P - powers) % MERSENNE_P)
+        finger_contrib = ((signed % MERSENNE_P) * powers) % MERSENNE_P
 
-        for row_index, hasher in enumerate(row_hashes):
+        flat_totals = self.totals.reshape(-1)
+        flat_moments = self.moments.reshape(-1)
+        flat_fingers = self.fingers.reshape(-1)
+        for row_index, hasher in enumerate(self.row_hashes):
             col = (hasher.values(ids) % np.uint64(cols)).astype(np.int64)
             for lvl in range(levels):
                 mask = depth >= lvl
@@ -118,10 +128,31 @@ def _build_round_sketch(
                     + row_index * cols
                     + col[mask]
                 )
-                np.add.at(totals.reshape(-1), flat_index, weights[mask])
-                np.add.at(moments.reshape(-1), flat_index, weights[mask] * ids[mask])
-                np.add.at(fingers.reshape(-1), flat_index, finger_contrib[mask])
-        fingers %= MERSENNE_P
+                np.add.at(flat_totals, flat_index, signed[mask])
+                np.add.at(flat_moments, flat_index, signed[mask] * ids[mask])
+                np.add.at(flat_fingers, flat_index, finger_contrib[mask])
+        self.fingers %= MERSENNE_P
+
+
+def _empty_round_sketch(
+    n: int,
+    *,
+    rng,
+    sparsity: int,
+    rows: int,
+) -> RoundSketch:
+    rng = ensure_rng(rng)
+    universe = n * n
+    if universe >= MERSENNE_P:
+        raise ValueError(
+            f"edge universe {universe} exceeds the hash field; "
+            f"AGM sketches here support n <= {int(MERSENNE_P**0.5)}"
+        )
+    levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
+    cols = 2 * sparsity
+    level_hash = KWiseHash(2, rng)
+    row_hashes = [KWiseHash(2, rng) for _ in range(rows)]
+    fingerprint_base = int(rng.integers(2, MERSENNE_P - 1))
 
     return RoundSketch(
         n=n,
@@ -129,18 +160,50 @@ def _build_round_sketch(
         level_hash=level_hash,
         row_hashes=row_hashes,
         fingerprint_base=fingerprint_base,
-        totals=totals,
-        moments=moments,
-        fingers=fingers,
+        totals=np.zeros((n, levels, rows, cols), dtype=np.int64),
+        moments=np.zeros((n, levels, rows, cols), dtype=np.int64),
+        fingers=np.zeros((n, levels, rows, cols), dtype=np.int64),
     )
 
 
 @dataclass
 class AGMSketch:
-    """A stack of fresh per-round sketches for Borůvka decoding."""
+    """A stack of fresh per-round sketches for Borůvka decoding.
+
+    ``rounds[:-1]`` are the merge rounds; ``rounds[-1]`` is the reserved
+    verification round that re-checks quiescence after the merges without
+    ever having been consumed by one.
+    """
 
     n: int
     rounds: "list[RoundSketch]"
+
+    @classmethod
+    def empty(
+        cls,
+        n: int,
+        rng=None,
+        *,
+        boruvka_rounds: "int | None" = None,
+        sparsity: int = 4,
+        rows: int = 3,
+    ) -> "AGMSketch":
+        """A zero sketch of ``n`` vertices, ready for streamed updates.
+
+        Builds ``boruvka_rounds`` merge-round sketches plus the reserved
+        verification round (``boruvka_rounds + 1`` fresh sketches total).
+        """
+        rng = ensure_rng(rng)
+        check_positive_int(sparsity, "sparsity")
+        check_positive_int(rows, "rows")
+        if boruvka_rounds is None:
+            boruvka_rounds = max(2, int(np.ceil(np.log2(max(n, 2)))) + 3)
+        check_positive_int(boruvka_rounds, "boruvka_rounds")
+        sketches = [
+            _empty_round_sketch(n, rng=rng, sparsity=sparsity, rows=rows)
+            for _ in range(boruvka_rounds + 1)
+        ]
+        return cls(n=n, rounds=sketches)
 
     @classmethod
     def from_graph(
@@ -152,16 +215,36 @@ class AGMSketch:
         sparsity: int = 4,
         rows: int = 3,
     ) -> "AGMSketch":
-        rng = ensure_rng(rng)
-        check_positive_int(sparsity, "sparsity")
-        check_positive_int(rows, "rows")
-        if boruvka_rounds is None:
-            boruvka_rounds = max(2, int(np.ceil(np.log2(max(graph.n, 2)))) + 3)
-        sketches = [
-            _build_round_sketch(graph, rng=rng, sparsity=sparsity, rows=rows)
-            for _ in range(boruvka_rounds)
-        ]
-        return cls(n=graph.n, rounds=sketches)
+        sketch = cls.empty(
+            graph.n,
+            rng,
+            boruvka_rounds=boruvka_rounds,
+            sparsity=sparsity,
+            rows=rows,
+        )
+        sketch.update_edges(graph.edges)
+        return sketch
+
+    @property
+    def merge_rounds(self) -> "list[RoundSketch]":
+        """The sketches Borůvka may consume for merges."""
+        return self.rounds[:-1]
+
+    @property
+    def verification_round(self) -> RoundSketch:
+        """The reserved sketch that only ever re-checks quiescence."""
+        return self.rounds[-1]
+
+    def update_edges(self, edges, weights=None) -> None:
+        """Apply one batch of signed edge updates to every round sketch.
+
+        Linearity (Prop. 8.1) makes this the streaming entry point: an
+        edge insert is weight ``+1``, a delete is ``-1``, and the sketch
+        after any prefix of the stream equals the sketch built from the
+        prefix's net multiset in one shot.
+        """
+        for round_sketch in self.rounds:
+            round_sketch.update_edges(edges, weights)
 
     def words_per_vertex(self) -> int:
         """Sketch size per vertex in machine words (the O(log³ n)-bit
@@ -205,13 +288,65 @@ def _sample_cut_edges(
     verified = expected == flat_fin
 
     samples: "dict[int, tuple[int, int]]" = {}
-    # Prefer deeper levels (sparser sub-vectors) by scanning from the end.
+    # Prefer deeper levels (sparser sub-vectors) by scanning from the end;
+    # setdefault keeps the first (deepest) hit per component.
     order = candidates[verified][::-1]
     comp_of = order // cells
     ids = indices.reshape(-1)[order]
     for comp, edge_id in zip(comp_of.tolist(), ids.tolist()):
-        samples[comp] = (edge_id // sketch.n, edge_id % sketch.n)
+        samples.setdefault(comp, (edge_id // sketch.n, edge_id % sketch.n))
     return samples
+
+
+def _merge_samples(labels: np.ndarray, samples: "dict[int, tuple[int, int]]") -> np.ndarray:
+    """Merge every sampled cut edge (DSU semantics via repeated min)."""
+    k = int(labels.max()) + 1
+    parent = np.arange(k, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for _comp, (u, v) in samples.items():
+        ru, rv = find(int(labels[u])), find(int(labels[v]))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    roots = np.array([find(int(c)) for c in range(k)], dtype=np.int64)
+    return canonical_labels(roots[labels])
+
+
+def agm_decode_components(sketch: AGMSketch) -> np.ndarray:
+    """Borůvka over the sketch's merge rounds; returns canonical labels.
+
+    Consumes one fresh :class:`RoundSketch` per merge round, then
+    re-checks quiescence with the reserved verification round — a sketch
+    no merge ever touched, so the final check keeps the fresh-sketch
+    independence the module docstring requires.
+
+    Raises
+    ------
+    RuntimeError
+        The merge rounds were exhausted before the verification round
+        could certify quiescence (probability vanishing in the number of
+        rounds); rebuild the sketch with more rounds.
+    """
+    labels = np.arange(sketch.n, dtype=np.int64)
+    for round_sketch in sketch.merge_rounds:
+        samples = _sample_cut_edges(round_sketch, labels)
+        if not samples:
+            return canonical_labels(labels)
+        labels = _merge_samples(labels, samples)
+
+    # Merge rounds exhausted: verify quiescence with the reserved
+    # (never-merged) verification sketch.
+    if _sample_cut_edges(sketch.verification_round, labels):
+        raise RuntimeError(
+            "AGM decoding exhausted its Boruvka rounds before converging; "
+            "rebuild the sketch with more rounds"
+        )
+    return canonical_labels(labels)
 
 
 def agm_connected_components(
@@ -234,33 +369,4 @@ def agm_connected_components(
     rng = ensure_rng(rng)
     if sketch is None:
         sketch = AGMSketch.from_graph(graph, rng, sparsity=sparsity, rows=rows)
-    labels = np.arange(graph.n, dtype=np.int64)
-
-    for round_sketch in sketch.rounds:
-        samples = _sample_cut_edges(round_sketch, labels)
-        if not samples:
-            return canonical_labels(labels), sketch
-        # Merge every sampled cut edge (DSU semantics via repeated min).
-        k = int(labels.max()) + 1
-        parent = np.arange(k, dtype=np.int64)
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        for comp, (u, v) in samples.items():
-            ru, rv = find(int(labels[u])), find(int(labels[v]))
-            if ru != rv:
-                parent[max(ru, rv)] = min(ru, rv)
-        roots = np.array([find(int(c)) for c in range(k)], dtype=np.int64)
-        labels = canonical_labels(roots[labels])
-
-    # Rounds exhausted: verify quiescence with the last sketch.
-    if _sample_cut_edges(sketch.rounds[-1], labels):
-        raise RuntimeError(
-            "AGM decoding exhausted its Boruvka rounds before converging; "
-            "rebuild the sketch with more rounds"
-        )
-    return canonical_labels(labels), sketch
+    return agm_decode_components(sketch), sketch

@@ -1,0 +1,33 @@
+"""Streaming-update connectivity on the AGM sketch layer.
+
+The dynamic-graph workload: an edge insert/delete stream, processed as
+batched signed updates to a maintained :class:`~repro.sketch.AGMSketch`
+(linearity makes a delete just a ``-1`` update), with component and
+connectivity queries answered between batches and a periodic full
+recompute (``mpc_connected_components`` through any registered
+engine/backend) as the oracle when sketch decoding degrades.
+
+* :class:`EventBatch` — one batch of signed edge events.
+* :class:`StreamingConnectivity` — the maintained structure.
+* :class:`StreamWorkload` + the registered stream patterns
+  (``insert_heavy``, ``delete_heavy``, ``churn``, ``component_split``)
+  — declarative, reproducible update streams over every registered
+  graph family.
+"""
+
+from repro.streaming.connectivity import StreamingConnectivity, StreamingStats
+from repro.streaming.events import EventBatch
+from repro.streaming.streams import (
+    StreamWorkload,
+    register_stream_pattern,
+    stream_pattern_names,
+)
+
+__all__ = [
+    "EventBatch",
+    "StreamingConnectivity",
+    "StreamingStats",
+    "StreamWorkload",
+    "register_stream_pattern",
+    "stream_pattern_names",
+]

@@ -1,0 +1,77 @@
+"""Edge events for the streaming-connectivity workload.
+
+An event is a signed edge-multiplicity delta: weight ``+k`` inserts ``k``
+parallel copies of the edge, ``-k`` deletes ``k``.  Events travel in
+batches (numpy arrays, not per-event objects) because both consumers —
+the linear AGM sketch and the materialised edge multiset — apply them
+vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """One batch of signed edge events.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` int64 endpoints.  Self-loops are rejected: they carry
+        no connectivity information and would silently vanish inside the
+        sketch, making the materialised multiset and the sketch disagree
+        about what was applied.
+    weights:
+        ``(m,)`` int64 multiplicity deltas; positive inserts, negative
+        deletes, zero rejected.
+    """
+
+    edges: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self):
+        edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        weights = np.asarray(self.weights, dtype=np.int64).reshape(-1)
+        if weights.shape[0] != edges.shape[0]:
+            raise ValueError(
+                f"{edges.shape[0]} edges but {weights.shape[0]} weights"
+            )
+        if edges.size and edges.min() < 0:
+            raise ValueError("edge endpoints must be non-negative")
+        if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+            raise ValueError("self-loop events are not allowed")
+        if np.any(weights == 0):
+            raise ValueError("zero-weight events are not allowed")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "weights", weights)
+
+    @classmethod
+    def insert(cls, edges) -> "EventBatch":
+        """A batch inserting every given edge once."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        return cls(edges, np.ones(edges.shape[0], dtype=np.int64))
+
+    @classmethod
+    def delete(cls, edges) -> "EventBatch":
+        """A batch deleting every given edge once."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        return cls(edges, -np.ones(edges.shape[0], dtype=np.int64))
+
+    @property
+    def size(self) -> int:
+        """Number of events in the batch."""
+        return int(self.edges.shape[0])
+
+    @property
+    def inserts(self) -> int:
+        """Total multiplicity inserted by the batch."""
+        return int(self.weights[self.weights > 0].sum())
+
+    @property
+    def deletes(self) -> int:
+        """Total multiplicity deleted by the batch."""
+        return int(-self.weights[self.weights < 0].sum())

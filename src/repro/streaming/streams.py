@@ -1,0 +1,221 @@
+"""Reproducible edge-event streams over the registered graph families.
+
+A :class:`StreamWorkload` is the streaming analogue of
+:class:`repro.bench.workloads.Workload`: a declarative recipe — graph
+family × size × *stream pattern* — that materialises into a deterministic
+sequence of :class:`~repro.streaming.events.EventBatch`es.  Patterns are
+registered by name so experiments and tests can sweep them like graph
+families.
+
+The four bundled patterns cover the update mixes a dynamic-connectivity
+structure must survive:
+
+* ``insert_heavy`` — incremental build-up: the family's edges arrive in
+  shuffled insert batches.
+* ``delete_heavy`` — decremental teardown: everything is inserted up
+  front, then most instances are deleted batch by batch.
+* ``churn`` — sustained mixed load: every batch deletes a random slice
+  of the present instances and re-inserts a slice of the absent ones.
+* ``component_split`` — the adversary: extra bridges join two vertex
+  halves, then *every* crossing instance is deleted so the components
+  split exactly along the cut — correct answers require the sketch's
+  cancellations to be exact — before one fresh bridge re-merges them.
+
+Every pattern deletes only instances it knows to be present, so a
+stream is always applicable (no negative multiplicities) starting from
+an empty :class:`~repro.streaming.connectivity.StreamingConnectivity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.workloads import Workload
+from repro.graph.graph import Graph
+from repro.streaming.events import EventBatch
+from repro.utils.rng import ensure_rng
+
+_PATTERNS: "dict[str, callable]" = {}
+
+
+def register_stream_pattern(name: str):
+    """Decorator: register a ``pattern(graph, rng, batches) -> list[EventBatch]``."""
+
+    def decorator(pattern):
+        if name in _PATTERNS:
+            raise ValueError(f"stream pattern {name!r} is already registered")
+        _PATTERNS[name] = pattern
+        return pattern
+
+    return decorator
+
+
+def stream_pattern_names() -> "list[str]":
+    """Sorted names of all registered stream patterns."""
+    return sorted(_PATTERNS)
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """A materialised stream: the vertex count plus its event batches."""
+
+    n: int
+    batches: "tuple[EventBatch, ...]"
+
+    def __iter__(self):
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_events(self) -> int:
+        """Total number of events across all batches."""
+        return sum(batch.size for batch in self.batches)
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """A reproducible update stream: ``family`` × size × ``pattern``.
+
+    ``build(seed)`` materialises the family's graph (exactly as the
+    static :class:`~repro.bench.workloads.Workload` would) and threads
+    it through the named stream pattern; the same seed always yields
+    the same batches.  ``batches`` is the pattern's batch-count target
+    (adversarial patterns may use their own fixed shape).
+    """
+
+    family: str
+    n: int
+    pattern: str
+    batches: int = 6
+    params: "dict" = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.pattern not in _PATTERNS:
+            raise KeyError(
+                f"unknown stream pattern {self.pattern!r}; "
+                f"available: {stream_pattern_names()}"
+            )
+        if self.batches < 1:
+            raise ValueError(f"batches must be positive, got {self.batches}")
+
+    @property
+    def label(self) -> str:
+        """Stable record key: ``pattern:family(n=...)``."""
+        return f"{self.pattern}:{Workload(self.family, self.n, self.params).label}"
+
+    def build(self, rng=None) -> EventStream:
+        """Materialise the stream (deterministic for a seeded ``rng``)."""
+        rng = ensure_rng(rng)
+        graph = Workload(self.family, self.n, self.params).build(rng)
+        batches = _PATTERNS[self.pattern](graph, rng, self.batches)
+        return EventStream(n=graph.n, batches=tuple(batches))
+
+
+def _chunks(array: np.ndarray, count: int) -> "list[np.ndarray]":
+    """Split into up to ``count`` non-empty contiguous chunks."""
+    count = max(1, min(count, array.shape[0]))
+    return [c for c in np.array_split(array, count) if c.shape[0]]
+
+
+def _loopless(graph: Graph) -> np.ndarray:
+    """The graph's edge instances with self-loops dropped (events reject
+    them; they carry no connectivity information)."""
+    edges = graph.edges
+    if edges.shape[0] == 0:
+        return edges.reshape(0, 2)
+    return edges[edges[:, 0] != edges[:, 1]]
+
+
+@register_stream_pattern("insert_heavy")
+def insert_heavy_stream(graph: Graph, rng, batches: int) -> "list[EventBatch]":
+    """Incremental build-up: all edge instances arrive as shuffled inserts."""
+    rng = ensure_rng(rng)
+    edges = _loopless(graph)
+    order = rng.permutation(edges.shape[0])
+    return [EventBatch.insert(chunk) for chunk in _chunks(edges[order], batches)]
+
+
+@register_stream_pattern("delete_heavy")
+def delete_heavy_stream(
+    graph: Graph, rng, batches: int, *, delete_fraction: float = 0.75
+) -> "list[EventBatch]":
+    """Decremental teardown: insert everything, then delete most of it."""
+    rng = ensure_rng(rng)
+    edges = _loopless(graph)
+    out = [EventBatch.insert(edges)]
+    doomed = rng.permutation(edges.shape[0])
+    doomed = doomed[: max(1, int(delete_fraction * doomed.shape[0]))]
+    out.extend(
+        EventBatch.delete(edges[chunk])
+        for chunk in _chunks(doomed, max(1, batches - 1))
+    )
+    return out
+
+
+@register_stream_pattern("churn")
+def churn_stream(
+    graph: Graph, rng, batches: int, *, delete_fraction: float = 0.25
+) -> "list[EventBatch]":
+    """Sustained mixed load: each batch deletes a random slice of the
+    present instances and re-inserts a slice of the absent ones."""
+    rng = ensure_rng(rng)
+    edges = _loopless(graph)
+    present = np.ones(edges.shape[0], dtype=bool)
+    out = [EventBatch.insert(edges)]
+    for _ in range(max(1, batches - 1)):
+        here = np.flatnonzero(present)
+        gone = np.flatnonzero(~present)
+        kill = rng.permutation(here)[: max(1, int(delete_fraction * here.shape[0]))]
+        revive = rng.permutation(gone)[: gone.shape[0] // 2]
+        chosen = np.concatenate([kill, revive])
+        weights = np.concatenate(
+            [
+                -np.ones(kill.shape[0], dtype=np.int64),
+                np.ones(revive.shape[0], dtype=np.int64),
+            ]
+        )
+        present[kill] = False
+        present[revive] = True
+        out.append(EventBatch(edges[chosen], weights))
+    return out
+
+
+@register_stream_pattern("component_split")
+def component_split_stream(
+    graph: Graph, rng, batches: int, *, extra_bridges: int = 3
+) -> "list[EventBatch]":
+    """The component-split adversary (``batches`` is ignored: the attack
+    has a fixed four-act shape).
+
+    Inserts the family's edges plus ``extra_bridges`` explicit bridges
+    across the vertex halves, then deletes *every* crossing instance in
+    two shuffled batches — the components must split exactly along the
+    cut, which only happens if the sketch's signed cancellations are
+    exact — and finally re-inserts one fresh bridge to re-merge.
+    """
+    rng = ensure_rng(rng)
+    edges = _loopless(graph)
+    n = graph.n
+    half = max(1, n // 2)
+    lows = rng.choice(half, size=min(extra_bridges, half), replace=False)
+    bridges = np.column_stack([lows, (lows + half) % n]).astype(np.int64)
+    bridges = bridges[bridges[:, 0] != bridges[:, 1]]
+
+    all_edges = np.concatenate([edges, bridges]) if edges.size else bridges
+    in_a = np.minimum(all_edges[:, 0], all_edges[:, 1]) < half
+    in_b = np.maximum(all_edges[:, 0], all_edges[:, 1]) >= half
+    crossing = np.flatnonzero(in_a & in_b)
+
+    out = [EventBatch.insert(all_edges)]
+    doomed = rng.permutation(crossing)
+    out.extend(
+        EventBatch.delete(all_edges[chunk]) for chunk in _chunks(doomed, 2)
+    )
+    if n > 2:
+        lo = int(rng.integers(0, half))
+        out.append(EventBatch.insert(np.array([[lo, half]], dtype=np.int64)))
+    return out

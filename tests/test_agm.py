@@ -136,3 +136,155 @@ class TestLinearityAtGraphLevel:
         assert set(samples) == {0, 1}
         for u, v in samples.values():
             assert {u, v} == {4, 5}  # the only cut edge
+
+
+class TestIncrementalUpdates:
+    """The streaming entry point: signed updates are exact linear algebra."""
+
+    def test_streamed_build_equals_one_shot(self):
+        """Applying a graph's edges in batches must reproduce from_graph
+        bit-for-bit (linearity)."""
+        g = paper_random_graph(48, 4, rng=12)
+        one_shot = AGMSketch.from_graph(g, rng=13)
+        streamed = AGMSketch.empty(g.n, rng=13)
+        thirds = np.array_split(g.edges, 3)
+        for chunk in thirds:
+            streamed.update_edges(chunk)
+        for a, b in zip(one_shot.rounds, streamed.rounds):
+            assert np.array_equal(a.totals, b.totals)
+            assert np.array_equal(a.moments, b.moments)
+            assert np.array_equal(a.fingers, b.fingers)
+
+    def test_duplicate_insert_then_delete_is_exact_zero(self):
+        """Parallel copies inserted then deleted must cancel every counter
+        to exact zero — the invariant streaming deletes rely on."""
+        sketch = AGMSketch.empty(8, rng=14)
+        edges = np.array([[1, 5], [1, 5], [2, 3]], dtype=np.int64)
+        sketch.update_edges(edges)
+        sketch.update_edges(edges, -np.ones(3, dtype=np.int64))
+        for r in sketch.rounds:
+            assert not r.totals.any()
+            assert not r.moments.any()
+            assert not r.fingers.any()
+
+    def test_delete_is_negated_insert(self):
+        a = AGMSketch.empty(10, rng=15)
+        b = AGMSketch.empty(10, rng=15)
+        edges = np.array([[0, 7], [3, 4]], dtype=np.int64)
+        a.update_edges(edges, np.array([2, -1], dtype=np.int64))
+        b.update_edges(edges, np.array([-2, 1], dtype=np.int64))
+        for ra, rb in zip(a.rounds, b.rounds):
+            assert np.array_equal(ra.totals, -rb.totals)
+            assert np.array_equal(ra.moments, -rb.moments)
+
+    def test_decode_after_streamed_deletes(self):
+        """Split a path by deleting its middle edge via a -1 update."""
+        g = path_graph(12)
+        sketch = AGMSketch.from_graph(g, rng=16)
+        sketch.update_edges(np.array([[5, 6]]), np.array([-1], dtype=np.int64))
+        from repro.sketch import agm_decode_components
+
+        labels = agm_decode_components(sketch)
+        assert labels[5] != labels[6]
+        assert np.all(labels[:6] == labels[0])
+        assert np.all(labels[6:] == labels[6])
+
+    def test_update_validation(self):
+        sketch = AGMSketch.empty(4, rng=17)
+        with pytest.raises(ValueError, match="out of range"):
+            sketch.update_edges(np.array([[0, 4]]))
+        with pytest.raises(ValueError, match="weights shape"):
+            sketch.rounds[0].update_edges(
+                np.array([[0, 1]]), np.array([1, 1], dtype=np.int64)
+            )
+
+    def test_self_loops_and_zero_weights_ignored(self):
+        sketch = AGMSketch.empty(6, rng=18)
+        sketch.update_edges(
+            np.array([[2, 2], [0, 1]]), np.array([5, 0], dtype=np.int64)
+        )
+        for r in sketch.rounds:
+            assert not r.totals.any()
+
+
+class TestBugfixRegressions:
+    def test_deepest_level_wins_cut_edge_sampling(self):
+        """Scanning from the end must keep the *deepest* level's decode;
+        plain dict assignment used to let the shallowest overwrite it."""
+        from repro.sketch.agm import RoundSketch, _sample_cut_edges
+        from repro.sketch.hashing import MERSENNE_P, KWiseHash
+
+        n, base = 4, 7
+        shallow_id = 0 * n + 1   # edge (0, 1) decoded at level 0
+        deep_id = 2 * n + 3      # edge (2, 3) decoded at level 1
+        totals = np.zeros((n, 2, 1, 1), dtype=np.int64)
+        moments = np.zeros_like(totals)
+        fingers = np.zeros_like(totals)
+        for level, edge_id in ((0, shallow_id), (1, deep_id)):
+            totals[0, level, 0, 0] = 1
+            moments[0, level, 0, 0] = edge_id
+            fingers[0, level, 0, 0] = pow(base, edge_id, MERSENNE_P)
+        sketch = RoundSketch(
+            n=n, universe=n * n, level_hash=KWiseHash(2, 0),
+            row_hashes=[KWiseHash(2, 1)], fingerprint_base=base,
+            totals=totals, moments=moments, fingers=fingers,
+        )
+        samples = _sample_cut_edges(sketch, np.zeros(n, dtype=np.int64))
+        assert samples == {0: (2, 3)}  # the deep edge, not the shallow one
+
+    def test_int_seed_round_sketch_has_independent_row_hashes(self):
+        """An int seed must be normalised once — every hash used to get
+        identical coefficients from re-seeding."""
+        from repro.sketch.agm import _empty_round_sketch
+
+        sketch = _empty_round_sketch(32, rng=123, sparsity=4, rows=3)
+        coeff_sets = [tuple(h.coefficients.tolist()) for h in sketch.row_hashes]
+        coeff_sets.append(tuple(sketch.level_hash.coefficients.tolist()))
+        assert len(set(coeff_sets)) == len(coeff_sets)
+
+    def test_from_graph_reserves_verification_round(self):
+        sketch = AGMSketch.from_graph(cycle_graph(16), rng=19, boruvka_rounds=5)
+        assert len(sketch.rounds) == 6
+        assert len(sketch.merge_rounds) == 5
+        assert sketch.verification_round is sketch.rounds[-1]
+
+    def test_verification_round_never_merged(self, monkeypatch):
+        """The quiescence check must use a sketch no merge ever consumed."""
+        import repro.sketch.agm as agm
+
+        calls = []
+        original = agm._sample_cut_edges
+
+        def spy(round_sketch, labels):
+            samples = original(round_sketch, labels)
+            calls.append((round_sketch, bool(samples)))
+            return samples
+
+        monkeypatch.setattr(agm, "_sample_cut_edges", spy)
+        g = path_graph(64)
+        sketch = AGMSketch.from_graph(g, rng=20)
+        labels, _ = agm_connected_components(g, rng=20, sketch=sketch)
+        assert np.all(labels == 0)
+        merge_sketches = {id(s) for s, produced in calls if produced}
+        assert id(sketch.verification_round) not in merge_sketches
+
+    def test_exhausted_rounds_verified_by_fresh_sketch(self, monkeypatch):
+        """When merge rounds run out, the failure must be certified by the
+        reserved verification sketch — queried exactly once, last."""
+        import repro.sketch.agm as agm
+
+        calls = []
+        original = agm._sample_cut_edges
+
+        def spy(round_sketch, labels):
+            samples = original(round_sketch, labels)
+            calls.append(round_sketch)
+            return samples
+
+        monkeypatch.setattr(agm, "_sample_cut_edges", spy)
+        g = path_graph(64)
+        sketch = AGMSketch.from_graph(g, rng=21, boruvka_rounds=2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            agm_connected_components(g, rng=21, sketch=sketch)
+        assert calls[-1] is sketch.verification_round
+        assert sum(1 for s in calls if s is sketch.verification_round) == 1

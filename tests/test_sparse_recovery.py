@@ -177,3 +177,52 @@ class TestL0Sampler:
         # Universe grew 1024x; the sketch only by ~2x (one extra level
         # per doubling).
         assert large < 4 * small
+
+
+class TestStreamingEdgeCases:
+    """Signed-update paths the streaming deletes exercise."""
+
+    def test_one_sparse_update_many_negative_total(self):
+        r = OneSparseRecovery.fresh(200, rng=3)
+        r.update_many(np.array([17, 17, 17]), np.array([-2, -1, -2]))
+        assert r.decode() == (17, -5)
+
+    def test_one_sparse_update_many_cancels_to_zero(self):
+        r = OneSparseRecovery.fresh(200, rng=3)
+        idx = np.array([9, 40, 9, 40])
+        r.update_many(idx, np.array([3, 1, -3, -1]))
+        assert r.is_zero
+        assert r.decode() is None
+
+    def test_l0_update_many_negative_weights(self):
+        s = L0Sampler.fresh(1000, rng=4)
+        idx = np.array([10, 20, 30])
+        s.update_many(idx, np.array([-1, -1, -1], dtype=np.int64))
+        result = s.sample()
+        assert result is not None
+        index, weight = result
+        assert index in {10, 20, 30}
+        assert weight == -1
+
+    def test_l0_update_many_exact_cancellation(self):
+        """A delete stream that mirrors its insert stream must leave the
+        sampler indistinguishable from fresh — the streaming-connectivity
+        invariant at the sketch's base."""
+        rng = np.random.default_rng(5)
+        s = L0Sampler.fresh(5000, rng=6)
+        idx = rng.choice(5000, size=64, replace=False)
+        weights = rng.integers(1, 8, size=64)
+        s.update_many(idx, weights)
+        s.update_many(idx, -weights)
+        assert s.sample() is None
+
+    def test_l0_partial_cancellation_survivor(self):
+        s = L0Sampler.fresh(1000, rng=7)
+        s.update_many(np.array([1, 2, 3]), np.array([1, 1, 1], dtype=np.int64))
+        s.update_many(np.array([1, 3]), np.array([-1, -1], dtype=np.int64))
+        assert s.sample() == (2, 1)
+
+    def test_sparse_recovery_mixed_sign_support(self):
+        r = SparseRecovery.fresh(500, sparsity=4, rng=8)
+        r.update_many(np.array([5, 60, 300]), np.array([2, -7, 4]))
+        assert r.decode() == {5: 2, 60: -7, 300: 4}

@@ -1,0 +1,84 @@
+"""Differential suite: streamed labels vs from-scratch pipeline labels.
+
+The tentpole correctness gate for the streaming subsystem: at *every*
+checkpoint of an update stream, the labels decoded from the maintained
+AGM sketch must be bit-identical (canonical form) to a from-scratch
+``mpc_connected_components`` run on the materialised multiset.  The
+churn pattern sweeps all registered generator families; the remaining
+patterns (including the component-split adversary, whose exact signed
+cancellations are the hard case) run on a representative subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import family_names
+from repro.core import PipelineConfig, mpc_connected_components
+from repro.graph import canonical_labels
+from repro.streaming import StreamingConnectivity, StreamWorkload, stream_pattern_names
+
+SEED = 23
+GAP_BOUND = 0.1
+CONFIG = PipelineConfig(
+    delta=0.5, expander_degree=4, max_walk_length=32, oversample=4, max_phases=2
+)
+#: Dense/structured families stay small so the sweep finishes fast
+#: (grid/hypercube round n to side**2 / 2**dim internally).
+SIZES = {"complete": 48, "hypercube": 64}
+
+
+def _assert_stream_matches_scratch(family: str, pattern: str, n: int):
+    stream = StreamWorkload(family, n, pattern, batches=4).build(SEED)
+    conn = StreamingConnectivity(
+        stream.n,
+        rng=SEED,
+        spectral_gap_bound=GAP_BOUND,
+        config=CONFIG,
+    )
+    for step, batch in enumerate(stream):
+        conn.apply(batch)
+        streamed = conn.query()
+        scratch = mpc_connected_components(
+            conn.current_graph(), GAP_BOUND, config=CONFIG, rng=SEED
+        ).labels
+        assert np.array_equal(streamed, canonical_labels(scratch)), (
+            f"{pattern}:{family} diverged from the from-scratch oracle at "
+            f"checkpoint {step}"
+        )
+
+
+@pytest.mark.parametrize("family", family_names())
+def test_churn_stream_matches_scratch_all_families(family):
+    _assert_stream_matches_scratch(family, "churn", SIZES.get(family, 96))
+
+
+@pytest.mark.parametrize("pattern", stream_pattern_names())
+@pytest.mark.parametrize("family", ["path", "dumbbell", "erdos_renyi"])
+def test_all_patterns_match_scratch(family, pattern):
+    _assert_stream_matches_scratch(family, pattern, 64)
+
+
+def test_component_split_adversary_exact_cancellation():
+    """The adversary's full-cut deletion only decodes correctly if every
+    signed update cancelled exactly — spot-check the split is clean."""
+    stream = StreamWorkload("path", 80, "component_split").build(SEED)
+    conn = StreamingConnectivity(stream.n, rng=SEED, config=CONFIG)
+    batches = list(stream)
+    for batch in batches[:-1]:  # everything up to the re-merge bridge
+        conn.apply(batch)
+    labels = conn.query()
+    truth = canonical_labels(
+        mpc_connected_components(
+            conn.current_graph(), GAP_BOUND, config=CONFIG, rng=SEED
+        ).labels
+    )
+    assert np.array_equal(labels, truth)
+    conn.apply(batches[-1])
+    assert np.array_equal(
+        conn.query(),
+        canonical_labels(
+            mpc_connected_components(
+                conn.current_graph(), GAP_BOUND, config=CONFIG, rng=SEED
+            ).labels
+        ),
+    )
