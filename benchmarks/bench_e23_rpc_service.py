@@ -1,0 +1,11 @@
+"""E23 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e23``.
+The service side is pinned to the ``rpc`` wire backend (the subject
+under test); ``BENCH_ENGINE`` routes both the resident service and the
+single-client reference through a different connectivity engine.
+"""
+
+
+def test_e23_rpc_service(bench_case):
+    bench_case("e23_rpc_service")

@@ -55,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("local", "sharded", "process"),
+        choices=("local", "sharded", "process", "rpc"),
         default="local",
         help="execution backend for pipeline experiments: 'local' charges "
         "rounds on plain vectorised numpy (default); 'sharded' runs the "
@@ -64,7 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(shard_count, peak_shard_load, bytes_exchanged) in the artifacts; "
         "'process' runs the same sharded kernels on a pool of worker "
         "processes over shared memory (true wall-clock parallelism, "
-        "bit-identical labels and counters)",
+        "bit-identical labels and counters); 'rpc' runs them on worker "
+        "processes reached over length-prefixed socket frames "
+        "(bit-identical, plus gated transport counters)",
     )
     parser.add_argument(
         "--engine",

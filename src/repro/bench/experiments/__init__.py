@@ -30,6 +30,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e20_plan_fusion,
     e21_engine_race,
     e22_streaming_updates,
+    e23_rpc_service,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "e20_plan_fusion",
     "e21_engine_race",
     "e22_streaming_updates",
+    "e23_rpc_service",
 ]

@@ -1,0 +1,251 @@
+"""E23 — the long-lived connectivity service over the RPC wire backend.
+
+The deployment shape :mod:`repro.service` exists for: one resident
+:class:`~repro.service.ServiceServer` holds the graph store and the
+digest-keyed label cache, its pipeline runs execute on a
+:class:`~repro.mpc.rpc.RpcBackend` fleet (every op shipped through the
+length-prefixed frames), and a pack of concurrent clients hammers it
+with interleaved connectivity queries.  Expected shape:
+
+* **bit-identical responses** — every label vector, component count,
+  and pairwise-connectivity answer from every concurrent client matches
+  a single-client ``mpc_connected_components`` run exactly, for every
+  family;
+* **throughput floor and latency ceilings** — cached queries clear the
+  suite's queries/second floor and stay under the p50/p95 ceilings
+  (deliberately generous: only order-of-magnitude regressions trip);
+* **cache economics** — exactly one pipeline compute per distinct
+  graph digest no matter how many clients ask (the hit-rate counter is
+  recorded per run), and the fleet finishes with zero worker restarts;
+* **gated wire counters** — the compute's model exchanges plus the
+  transport's op frames and serialized wire bytes are recorded per
+  family (``*_exchanges`` / ``*_frames`` / ``*_wire_bytes`` are
+  regression-gated by ``--compare``), so a codec or digest-dedup change
+  that inflates RPC traffic fails CI.
+
+The service side is pinned to the ``rpc`` backend — the wire is the
+subject under test — while the single-client reference runs through the
+``--engine`` dispatch seam like any pipeline experiment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+import repro
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import Workload
+from repro.core.pipeline import mpc_connected_components
+from repro.mpc.rpc import RpcBackend
+from repro.service import ServiceClient, ServiceServer
+
+GAP_BOUND = 0.1
+
+#: Dense families stay small so every cold compute finishes fast.
+SIZE_OVERRIDES = {"complete": 64, "hypercube": 64}
+
+
+def _config(params: dict) -> "repro.PipelineConfig":
+    return repro.PipelineConfig(
+        delta=0.5,
+        expander_degree=4,
+        max_walk_length=params["max_walk_length"],
+        oversample=params["oversample"],
+        max_phases=params["max_phases"],
+    )
+
+
+def _hammer(address, digest, reference, queries, latencies, failures):
+    """One client's query loop: interleaved ops, per-call latency."""
+    pairs = np.column_stack(
+        [np.arange(16) % reference.shape[0],
+         np.arange(1, 17) % reference.shape[0]]
+    )
+    expected_connected = reference[pairs[:, 0]] == reference[pairs[:, 1]]
+    expected_count = int(reference.max()) + 1
+    try:
+        with ServiceClient(address) as client:
+            for turn in range(queries):
+                start = time.perf_counter()
+                if turn % 3 == 0:
+                    ok = np.array_equal(client.components(digest), reference)
+                elif turn % 3 == 1:
+                    ok = np.array_equal(
+                        client.connected(digest, pairs), expected_connected
+                    )
+                else:
+                    ok = client.component_count(digest) == expected_count
+                latencies.append(time.perf_counter() - start)
+                if not ok:
+                    failures.append(f"{digest}:turn{turn}")
+    except Exception as exc:  # noqa: BLE001 - surfaced as a check
+        failures.append(repr(exc))
+
+
+@register_benchmark(
+    "e23_rpc_service",
+    title="Long-lived connectivity service over the RPC wire backend",
+    headers=["family", "n", "queries", "q/s", "p50 ms", "p95 ms",
+             "hit rate", "op frames", "wire KiB"],
+    smoke={
+        "families": ["dumbbell", "cycle", "grid", "star"],
+        "n": 96,
+        "clients": 4,
+        "queries_per_client": 6,
+        "min_queries_per_sec": 50.0,
+        "max_p50_seconds": 0.05,
+        "max_p95_seconds": 0.25,
+        "max_walk_length": 32,
+        "oversample": 4,
+        "max_phases": 2,
+    },
+    full={
+        "families": ["complete", "cycle", "dumbbell", "erdos_renyi",
+                     "expander_path", "grid", "hypercube", "paper_random",
+                     "path", "permutation_regular", "ring_of_expanders",
+                     "star"],
+        "n": 256,
+        "clients": 8,
+        "queries_per_client": 12,
+        "min_queries_per_sec": 50.0,
+        "max_p50_seconds": 0.10,
+        "max_p95_seconds": 0.50,
+        "max_walk_length": 64,
+        "oversample": 6,
+        "max_phases": 4,
+    },
+    notes=(
+        "Expected shape: every concurrent client's responses bit-identical "
+        "to the single-client pipeline for every family; one compute per "
+        "distinct graph digest (hit rate recorded); cached-query "
+        "throughput/latency clear generous order-of-magnitude guards; "
+        "compute exchanges + RPC op frames + wire bytes are "
+        "regression-gated; zero worker restarts."
+    ),
+    tags=("service", "rpc", "pipeline"),
+)
+def e23_rpc_service(ctx):
+    config = _config(ctx.params)
+    base_n = ctx.params["n"]
+    clients = ctx.params["clients"]
+    queries_per_client = ctx.params["queries_per_client"]
+
+    backend = RpcBackend(workers=ctx.workers or 2, min_wire_items=0)
+    try:
+        with ServiceServer(
+            engine=ctx.engine, backend=backend,
+            spectral_gap_bound=GAP_BOUND, config=config, seed=ctx.seed,
+        ) as server:
+            for family in ctx.params["families"]:
+                size = SIZE_OVERRIDES.get(family, base_n)
+                graph = Workload(family, size).build(ctx.seed)
+                reference = mpc_connected_components(
+                    graph, GAP_BOUND, config=config, rng=ctx.seed,
+                    engine=ctx.engine,
+                ).labels
+
+                model_before = backend.stats()
+                wire_before = dict(backend.transport_stats())
+                with ServiceClient(server.address) as primer:
+                    digest = primer.put_graph(graph.n, graph.edges)
+                    cold = primer.components(digest)
+                model_after = backend.stats()
+                wire_after = backend.transport_stats()
+                ctx.check(
+                    f"bit-identical-compute-{family}",
+                    np.array_equal(cold, reference),
+                    "service compute over rpc must match the local pipeline",
+                )
+
+                latencies: "list[float]" = []
+                failures: "list[str]" = []
+                threads = [
+                    threading.Thread(
+                        target=_hammer,
+                        args=(server.address, digest, reference,
+                              queries_per_client, latencies, failures),
+                    )
+                    for _ in range(clients)
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - start
+
+                total_queries = clients * queries_per_client
+                queries_per_sec = total_queries / wall if wall else 0.0
+                p50, p95 = np.percentile(latencies, [50, 95])
+                ctx.check(
+                    f"bit-identical-concurrent-{family}",
+                    not failures,
+                    f"{len(failures)} divergent/failed responses: "
+                    f"{failures[:3]}",
+                )
+                ctx.check(
+                    f"throughput-floor-{family}",
+                    queries_per_sec >= ctx.params["min_queries_per_sec"],
+                    f"{queries_per_sec:.0f} queries/s",
+                )
+                ctx.check(
+                    f"latency-p50-ceiling-{family}",
+                    p50 <= ctx.params["max_p50_seconds"],
+                    f"{p50 * 1e3:.1f} ms",
+                )
+                ctx.check(
+                    f"latency-p95-ceiling-{family}",
+                    p95 <= ctx.params["max_p95_seconds"],
+                    f"{p95 * 1e3:.1f} ms",
+                )
+
+                hit_rate = server.stats()["hit_rate"]
+                frames = wire_after["op_frames"] - wire_before["op_frames"]
+                wire_bytes = (
+                    wire_after["op_wire_bytes"] - wire_before["op_wire_bytes"]
+                )
+                ctx.record(
+                    family,
+                    row=[family, graph.n, total_queries,
+                         f"{queries_per_sec:.0f}", f"{p50 * 1e3:.2f}",
+                         f"{p95 * 1e3:.2f}", f"{hit_rate:.3f}", frames,
+                         f"{wire_bytes / 1024:.0f}"],
+                    family=family,
+                    n=graph.n,
+                    queries=total_queries,
+                    queries_per_sec=queries_per_sec,
+                    p50_seconds=float(p50),
+                    p95_seconds=float(p95),
+                    hit_rate=hit_rate,
+                    compute_exchanges=(
+                        model_after.exchanges - model_before.exchanges
+                    ),
+                    compute_op_frames=frames,
+                    compute_wire_bytes=wire_bytes,
+                )
+
+            stats = server.stats()
+            families = ctx.params["families"]
+            ctx.check(
+                "one-compute-per-digest",
+                stats["computes"] == len(families),
+                f"{stats['computes']} computes for {len(families)} graphs",
+            )
+            ctx.check(
+                "no-worker-restarts",
+                backend.workers_restarted == 0 and not backend.dead_workers(),
+                f"restarts={backend.workers_restarted}, "
+                f"dead={backend.dead_workers()}",
+            )
+    finally:
+        backend.close()
+
+    ctx.note(
+        "Every concurrent client saw bit-identical responses; one pipeline "
+        "compute per distinct graph digest (all later queries served from "
+        "the label cache); the RPC fleet finished with zero restarts and "
+        "its gated wire counters (frames/bytes) are deterministic per plan."
+    )

@@ -221,7 +221,10 @@ def compare_cases(
     # "segments" gates shared-memory segment allocations so the arena's
     # O(1)-allocations-per-run property cannot silently regress; "barriers"
     # gates dispatch-barrier counts so plan fusion (one barrier per round
-    # plan, not one per op) cannot silently unfuse.
+    # plan, not one per op) cannot silently unfuse; "frames"/"wire_bytes"
+    # gate the RPC transport (op frames shipped and their serialized
+    # sizes — deterministic per plan, unlike heartbeats/retries) so a
+    # codec or dedup change that inflates wire traffic fails --compare.
     counter_suffixes = (
         "rounds",
         "machines",
@@ -232,6 +235,8 @@ def compare_cases(
         "shard_load",
         "segments",
         "barriers",
+        "frames",
+        "wire_bytes",
     )
 
     regressions, improvements, unchanged = [], [], []

@@ -1,13 +1,17 @@
 """MPC simulator: round accounting engine, pluggable execution backends,
 and the faithful memory-capped executor.
 
-Three execution backends ship (see :mod:`repro.mpc.backends`): the
+Four execution backends ship (see :mod:`repro.mpc.backends`): the
 accounting-only :class:`LocalBackend`, the enforced serial
-:class:`ShardedBackend`, and the true-parallel :class:`ProcessBackend`
+:class:`ShardedBackend`, the true-parallel :class:`ProcessBackend`
 (:mod:`repro.mpc.process_backend`), which runs the same sharded kernels
-on a pool of OS worker processes over shared memory.  Select one with
-``mpc_connected_components(..., backend="local" | "sharded" | "process")``
-or construct it directly and pass it to :class:`MPCEngine`.
+on a pool of OS worker processes over shared memory, and the
+wire-protocol :class:`RpcBackend` (:mod:`repro.mpc.rpc`), which runs
+them across length-prefixed socket frames — the substrate of the
+long-lived connectivity service in :mod:`repro.service`.  Select one
+with ``mpc_connected_components(..., backend="local" | "sharded" |
+"process" | "rpc")`` or construct it directly and pass it to
+:class:`MPCEngine`.
 
 Every backend speaks the round-plan IR of :mod:`repro.mpc.plan`: the
 algorithm layer records each MPC round's op sequence in a
@@ -47,7 +51,9 @@ from repro.mpc.plan import (
     ReplayResult,
     RoundPlan,
     SlotRef,
+    content_digest,
     execute_plan,
+    graph_digest,
     parent_local_steps,
     register_transform,
     replay,
@@ -61,6 +67,13 @@ from repro.mpc.process_backend import (
     default_worker_count,
     default_workers,
     usable_cpu_count,
+)
+from repro.mpc.rpc import (
+    RpcBackend,
+    RpcError,
+    RpcProtocolError,
+    RpcTimeoutError,
+    RpcWorkerError,
 )
 
 __all__ = [
@@ -82,8 +95,15 @@ __all__ = [
     "ProcessBackend",
     "ReplayResult",
     "RoundPlan",
+    "RpcBackend",
+    "RpcError",
+    "RpcProtocolError",
+    "RpcTimeoutError",
+    "RpcWorkerError",
     "SlotRef",
+    "content_digest",
     "execute_plan",
+    "graph_digest",
     "parent_local_steps",
     "register_transform",
     "replay",

@@ -94,6 +94,23 @@ DISPATCH_STATS_ZERO = {
     "plan_barriers": {},
 }
 
+#: Zeroed transport block for backends that move no data over a wire,
+#: same one-schema contract as :data:`ARENA_STATS_ZERO`.  The RPC
+#: backend (:mod:`repro.mpc.rpc`) fills the same keys with live
+#: counters: ``op_frames``/``op_wire_bytes`` count only operation
+#: traffic (deterministic, so bench records may gate them), while
+#: ``heartbeats`` and ``retries`` are time-driven and never gated.
+TRANSPORT_STATS_ZERO = {
+    "op_frames": 0,
+    "op_wire_bytes": 0,
+    "acks": 0,
+    "digest_hits": 0,
+    "digest_misses": 0,
+    "heartbeats": 0,
+    "retries": 0,
+    "workers_restarted": 0,
+}
+
 
 @dataclass
 class BackendStats:
@@ -116,7 +133,10 @@ class BackendStats:
     ``None`` on the dataclass for backends without a worker pool, but
     :meth:`to_json` always emits both blocks (zeroed where not
     applicable) so ``--compare`` and downstream tooling never
-    special-case the backend.
+    special-case the backend.  ``transport`` carries the wire telemetry
+    of an :class:`~repro.mpc.rpc.RpcBackend` (frames, payload bytes,
+    digest-dedup hits, heartbeats, retries) under the same zero-filled
+    one-schema contract (:data:`TRANSPORT_STATS_ZERO`).
     """
 
     name: str
@@ -131,6 +151,7 @@ class BackendStats:
     workers: "int | None" = None
     arena: "dict | None" = None
     dispatch: "dict | None" = None
+    transport: "dict | None" = None
 
     def to_json(self) -> dict:
         """Plain-dict form embedded in ``MPCEngine.summary()`` and the
@@ -155,6 +176,9 @@ class BackendStats:
             "arena": dict(ARENA_STATS_ZERO if self.arena is None else self.arena),
             "dispatch": dict(
                 DISPATCH_STATS_ZERO if self.dispatch is None else self.dispatch
+            ),
+            "transport": dict(
+                TRANSPORT_STATS_ZERO if self.transport is None else self.transport
             ),
         }
 
@@ -672,11 +696,12 @@ def _grouped_reduce(keys: np.ndarray, values: np.ndarray, op: str):
     return sorted_keys[boundaries], reduced, order
 
 
-#: Registry for CLI/pipeline string selection.  ``"process"`` is added by
-#: :mod:`repro.mpc.process_backend` at import time — and since importing
-#: *this* module always executes the :mod:`repro.mpc` package ``__init__``
-#: first (which imports ``process_backend``), every import path sees the
-#: full registry.
+#: Registry for CLI/pipeline string selection.  ``"process"`` and
+#: ``"rpc"`` are added by :mod:`repro.mpc.process_backend` and
+#: :mod:`repro.mpc.rpc` at import time — and since importing *this*
+#: module always executes the :mod:`repro.mpc` package ``__init__``
+#: first (which imports both), every import path sees the full
+#: registry.
 BACKENDS = {
     "local": LocalBackend,
     "sharded": ShardedBackend,
@@ -715,10 +740,14 @@ def make_backend(spec, **kwargs) -> "ExecutionBackend | None":
             raise ValueError("cannot pass options with a backend instance")
         return spec
     if isinstance(spec, str):
+        # Lookup and construction are separated deliberately: a KeyError
+        # escaping a backend *constructor* must propagate as-is, not be
+        # mislabelled as an unknown-name error.
         try:
-            return BACKENDS[spec](**kwargs)
+            cls = BACKENDS[spec]
         except KeyError:
             raise ValueError(
                 f"unknown backend {spec!r}; available: {backend_names()}"
             ) from None
+        return cls(**kwargs)
     raise TypeError(f"backend must be None, a name, or an ExecutionBackend: {spec!r}")

@@ -503,14 +503,42 @@ def _decode_array(doc: dict) -> np.ndarray:
     ).copy()
 
 
-def _digest(array: np.ndarray) -> str:
-    """Content digest used to deduplicate arrays across trace entries."""
-    array = np.ascontiguousarray(_as_array(array))
+def content_digest(array) -> str:
+    """Content digest of one array: dtype + shape + raw bytes, truncated.
+
+    This is the identity every array-dedup layer shares: trace files
+    store each distinct array once under its digest, the RPC backend
+    ships an array to a worker only the first time a digest appears
+    (:mod:`repro.mpc.rpc`), and the connectivity service keys its
+    label cache by the digest of the resident edge array
+    (:func:`graph_digest`).  Two arrays collide iff they are
+    bit-identical in dtype, shape, and payload.
+    """
+    array = _as_array(array)
+    if array.ndim:  # ascontiguousarray would flatten a 0-d to (1,)
+        array = np.ascontiguousarray(array)
     h = hashlib.sha256()
     h.update(array.dtype.str.encode())
     h.update(repr(array.shape).encode())
     h.update(array.tobytes())
     return h.hexdigest()[:24]
+
+
+#: Internal alias kept for the trace recorder's call sites.
+_digest = content_digest
+
+
+def graph_digest(n: int, edges) -> str:
+    """Cache key for one concrete graph: vertex count + edge-array digest.
+
+    The key is exact, not canonical: it hashes the edge array as given
+    (order and multiplicity included), because every downstream compute
+    — the pipeline's batches, the RNG consumption, the resulting label
+    array — is a function of that exact array.  Two graphs share a key
+    iff a cached result for one is bit-valid for the other.
+    """
+    edges = np.ascontiguousarray(np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    return f"g{int(n)}-{content_digest(edges)}"
 
 
 class PlanTrace:
@@ -799,7 +827,19 @@ def _smoke(argv: "list[str] | None" = None) -> int:  # pragma: no cover
             f"({result.rounds} rounds, {captured.exchanges} exchanges)"
         )
         for name in args.replay:
-            replayed = replay(out, backend=name)
+            if name == "rpc":
+                # Force every op through the wire: the default
+                # min_wire_items threshold would keep smoke-scale ops on
+                # the serial kernels and certify nothing.
+                from repro.mpc.rpc import RpcBackend
+
+                rpc = RpcBackend(workers=2, min_wire_items=0)
+                try:
+                    replayed = replay(out, backend=rpc)
+                finally:
+                    rpc.close()
+            else:
+                replayed = replay(out, backend=name)
             assert replayed.ok
             # The accounting-only local backend legitimately reports zero
             # exchanges; every enforced backend must reproduce the

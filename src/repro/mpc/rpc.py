@@ -1,0 +1,1452 @@
+"""Wire-protocol MPC data plane: worker processes behind a socket RPC.
+
+:class:`RpcBackend` is the first executor whose kernels run across a
+*wire* rather than shared memory — the substrate the ROADMAP's
+connectivity service (:mod:`repro.service`) is built on.  Like
+:class:`~repro.mpc.process_backend.ProcessBackend` it subclasses
+:class:`~repro.mpc.backends.ShardedBackend` and overrides *only* the
+``_kernel_*`` compute hooks, so capacity enforcement, exchange
+attribution, and every model counter are shared code — counter-identical
+to the serial sharded backend by construction.
+
+Wire protocol
+-------------
+Everything crosses the socket as length-prefixed *frames*
+(:func:`encode_frame` / :func:`decode_frame`): a fixed
+magic + header-length + blob-length prefix, a JSON header, and a raw
+binary blob.  Op frames carry :class:`~repro.mpc.plan.OpStep`-shaped
+step sequences (``op`` / ``inputs`` / ``outputs`` / ``params`` dicts)
+in the header and their input arrays in the blob; a worker executes the
+steps in order against an environment of named arrays and replies with
+one ACK frame carrying the requested output arrays.  Malformed,
+truncated, or oversized frames raise the typed
+:class:`RpcProtocolError` — never a hang, never a bare struct/JSON
+error.
+
+Arrays are *content-digest deduplicated* per worker
+(:func:`repro.mpc.plan.content_digest`, the same identity trace files
+and the service cache use): the parent tracks which digests each worker
+holds and ships a bare digest reference instead of payload bytes on
+every repeat — the loop-invariant incidence arrays of the broadcast
+stage cross the wire once per worker, not once per round.
+
+Execution model
+---------------
+The pool holds ``workers`` forked OS processes, each running a
+synchronous frame loop over a private Unix-domain socket; the parent
+side is a dedicated asyncio event loop on a background thread.  One
+backend operation is one *ACK barrier*: the parent sends every worker
+its step frame, then awaits all ACKs — exactly the all-to-all barrier
+the sharded accounting already prices.  Partitioning mirrors the
+process backend bit for bit: ``search`` and ``min_label_exchange``
+split shard-aligned position blocks, ``sort`` and ``reduce_by_key``
+use deterministic sample-sort splitters with disjoint key ranges, so
+concatenating the per-worker results *is* the serial kernel's output.
+
+A background heartbeat task pings idle workers every
+``heartbeat_interval`` seconds; a worker that misses the
+``heartbeat_timeout`` deadline (or whose connection drops) is marked
+dead with a typed error, pending calls fail immediately, and the pool
+fails closed.  Calls are bounded by ``call_timeout`` with
+``max_retries`` re-waits under exponential backoff
+(:class:`RpcTimeoutError` after the budget); pool construction is
+bounded by ``connect_timeout``.  A failed pool restarts lazily on the
+next operation, so the backend recovers without caller intervention.
+
+Certification order (the point of the plan IR)
+----------------------------------------------
+The backend is certified through the replay seam before it ever runs
+live: every committed per-engine trace must replay bit-identically
+(``repro.mpc.plan.replay(path, backend=RpcBackend(...))`` — outputs,
+rounds, and exchange/byte counters), then the backend joins
+``tests/test_differential.py`` as the fourth backend across all
+generator families, and only then does the connectivity service ride
+it.  Transport telemetry (frames, payload bytes, digest hits) is
+reported in ``stats().transport`` under the one-schema zero-filled
+contract of :data:`~repro.mpc.backends.TRANSPORT_STATS_ZERO`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import os
+import socket
+import struct
+import tempfile
+import threading
+import time
+import weakref
+
+import numpy as np
+
+from repro.mpc.backends import BACKENDS, ShardedBackend, _grouped_reduce
+from repro.mpc.plan import content_digest
+from repro.mpc.process_backend import DEFAULT_MIN_PARALLEL_ITEMS, _mp_context
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+class RpcError(RuntimeError):
+    """Base class of every typed RPC failure."""
+
+
+class RpcProtocolError(RpcError):
+    """A malformed frame: bad magic, truncated payload, invalid JSON,
+    oversized section, unknown digest reference, or a duplicate ACK.
+    """
+
+
+class RpcTimeoutError(RpcError):
+    """A call (or pool connect) exceeded its configured deadline,
+    including every retry of the bounded backoff schedule.
+    """
+
+
+class RpcWorkerError(RpcError):
+    """A worker process died, failed a step, or missed its heartbeat."""
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+#: Frame prefix: magic, header length, blob length (network byte order).
+FRAME_MAGIC = b"MPR1"
+_PREFIX = struct.Struct("!4sII")
+
+#: Section ceilings: a frame announcing more than this is malformed by
+#: definition (and would otherwise stall the reader on a short stream).
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_BLOB_BYTES = 1 << 31
+
+
+def encode_frame(header: dict, blob: bytes = b"") -> bytes:
+    """Serialise one frame: prefix + JSON header + binary blob.
+
+    Raises
+    ------
+    RpcProtocolError
+        The header is not JSON-serialisable or a section exceeds its
+        ceiling.
+    """
+    try:
+        head = json.dumps(header, separators=(",", ":")).encode()
+    except (TypeError, ValueError) as exc:
+        raise RpcProtocolError(f"unencodable frame header: {exc}") from None
+    if len(head) > MAX_HEADER_BYTES or len(blob) > MAX_BLOB_BYTES:
+        raise RpcProtocolError(
+            f"frame sections too large: header {len(head)}, blob {len(blob)}"
+        )
+    return _PREFIX.pack(FRAME_MAGIC, len(head), len(blob)) + head + blob
+
+
+def decode_frame(data: bytes) -> "tuple[dict, bytes]":
+    """Inverse of :func:`encode_frame` for one complete frame.
+
+    Raises
+    ------
+    RpcProtocolError
+        Truncated prefix/sections, wrong magic, oversized lengths,
+        invalid JSON, a non-object header, or trailing garbage.
+    """
+    if len(data) < _PREFIX.size:
+        raise RpcProtocolError(
+            f"truncated frame prefix: {len(data)} < {_PREFIX.size} bytes"
+        )
+    magic, head_len, blob_len = _PREFIX.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise RpcProtocolError(f"bad frame magic {magic!r}")
+    if head_len > MAX_HEADER_BYTES or blob_len > MAX_BLOB_BYTES:
+        raise RpcProtocolError(
+            f"frame announces oversized sections: {head_len}/{blob_len}"
+        )
+    expected = _PREFIX.size + head_len + blob_len
+    if len(data) != expected:
+        raise RpcProtocolError(
+            f"frame length {len(data)} != announced {expected}"
+        )
+    head = data[_PREFIX.size : _PREFIX.size + head_len]
+    try:
+        header = json.loads(head.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RpcProtocolError(f"invalid frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise RpcProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    return header, data[_PREFIX.size + head_len :]
+
+
+def pack_arrays(
+    arrays: "dict[str, np.ndarray]",
+    known: "set[str] | None" = None,
+) -> "tuple[list[dict], bytes, list[str]]":
+    """Encode named arrays for a frame blob, digest-deduplicated.
+
+    Returns ``(meta, blob, shipped)``: per-array metadata for the frame
+    header, the concatenated payload, and the digests whose bytes were
+    actually included.  An array whose digest is in ``known`` (or
+    appeared earlier in this same frame) is sent as a bare reference.
+
+    Raises
+    ------
+    RpcProtocolError
+        An array has an object dtype (PyObject pointers are meaningless
+        on the far side of a socket).
+    """
+    meta: "list[dict]" = []
+    chunks: "list[bytes]" = []
+    shipped: "list[str]" = []
+    seen = set(known) if known is not None else set()
+    offset = 0
+    for slot, array in arrays.items():
+        array = np.asarray(array)
+        if array.ndim:  # ascontiguousarray would flatten a 0-d to (1,)
+            array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise RpcProtocolError(
+                f"array {slot!r} has object dtype {array.dtype}; "
+                "only plain binary dtypes cross the wire"
+            )
+        digest = content_digest(array)
+        if digest in seen:
+            meta.append({"slot": slot, "digest": digest, "cached": True})
+            continue
+        payload = array.tobytes()
+        meta.append(
+            {
+                "slot": slot,
+                "digest": digest,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(payload),
+            }
+        )
+        chunks.append(payload)
+        offset += len(payload)
+        seen.add(digest)
+        shipped.append(digest)
+    return meta, b"".join(chunks), shipped
+
+
+def unpack_arrays(
+    meta: "list[dict]",
+    blob: bytes,
+    cache: "dict[str, np.ndarray] | None" = None,
+) -> "dict[str, np.ndarray]":
+    """Decode :func:`pack_arrays` output back into named arrays.
+
+    ``cache`` (digest → array) resolves bare references and is updated
+    with every array decoded from the blob, so same-frame and
+    cross-frame dedup both resolve.  Decoded arrays are read-only views
+    of the blob — kernels never mutate their inputs.
+
+    Raises
+    ------
+    RpcProtocolError
+        A reference names a digest the cache does not hold, a payload
+        slice falls outside the blob, or dtype/shape are inconsistent
+        with the announced byte count.
+    """
+    out: "dict[str, np.ndarray]" = {}
+    for entry in meta:
+        slot = entry["slot"]
+        if entry.get("cached"):
+            if cache is None or entry["digest"] not in cache:
+                raise RpcProtocolError(
+                    f"frame references unknown cached digest "
+                    f"{entry['digest']!r} for {slot!r}"
+                )
+            out[slot] = cache[entry["digest"]]
+            continue
+        lo = entry["offset"]
+        hi = lo + entry["nbytes"]
+        if lo < 0 or hi > len(blob):
+            raise RpcProtocolError(
+                f"array {slot!r} payload [{lo}:{hi}] exceeds blob of "
+                f"{len(blob)} bytes"
+            )
+        try:
+            dtype = np.dtype(entry["dtype"])
+            count = int(np.prod(entry["shape"], dtype=np.int64))
+        except (TypeError, ValueError) as exc:
+            raise RpcProtocolError(
+                f"array {slot!r} does not decode: {exc}"
+            ) from None
+        if count * dtype.itemsize != entry["nbytes"]:
+            raise RpcProtocolError(
+                f"array {slot!r} dtype/shape imply "
+                f"{count * dtype.itemsize} bytes, frame announced "
+                f"{entry['nbytes']}"
+            )
+        try:
+            array = np.frombuffer(
+                blob, dtype=dtype, count=count, offset=lo
+            ).reshape(entry["shape"])
+        except (TypeError, ValueError) as exc:
+            raise RpcProtocolError(
+                f"array {slot!r} does not decode: {exc}"
+            ) from None
+        out[slot] = array
+        if cache is not None:
+            cache[entry["digest"]] = array
+    return out
+
+
+def _recv_exact(sock: socket.socket, n: int) -> "bytes | None":
+    """Read exactly ``n`` bytes from a blocking socket.
+
+    Returns ``None`` on a clean EOF at offset 0 (peer closed between
+    frames); raises :class:`RpcProtocolError` on EOF mid-read.
+    """
+    chunks: "list[bytes]" = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise RpcProtocolError(
+                f"connection closed mid-frame: {got}/{n} bytes"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> "tuple[dict, bytes] | None":
+    """Read one frame from a blocking socket (``None`` on clean EOF).
+
+    Raises :class:`RpcProtocolError` on truncation or malformed content.
+    """
+    prefix = _recv_exact(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    magic, head_len, blob_len = _PREFIX.unpack(prefix)
+    if magic != FRAME_MAGIC:
+        raise RpcProtocolError(f"bad frame magic {magic!r}")
+    if head_len > MAX_HEADER_BYTES or blob_len > MAX_BLOB_BYTES:
+        raise RpcProtocolError(
+            f"frame announces oversized sections: {head_len}/{blob_len}"
+        )
+    rest = _recv_exact(sock, head_len + blob_len)
+    if rest is None:
+        raise RpcProtocolError("connection closed before frame body")
+    return decode_frame(prefix + rest)
+
+
+def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(header, blob))
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> "tuple[dict, bytes] | None":
+    """Read one frame from an asyncio stream (``None`` on clean EOF).
+
+    Raises :class:`RpcProtocolError` on truncation or malformed content.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise RpcProtocolError(
+            f"connection closed mid-prefix: {len(exc.partial)} bytes"
+        ) from None
+    magic, head_len, blob_len = _PREFIX.unpack(prefix)
+    if magic != FRAME_MAGIC:
+        raise RpcProtocolError(f"bad frame magic {magic!r}")
+    if head_len > MAX_HEADER_BYTES or blob_len > MAX_BLOB_BYTES:
+        raise RpcProtocolError(
+            f"frame announces oversized sections: {head_len}/{blob_len}"
+        )
+    try:
+        rest = await reader.readexactly(head_len + blob_len)
+    except asyncio.IncompleteReadError as exc:
+        raise RpcProtocolError(
+            f"connection closed mid-frame: {len(exc.partial)}/"
+            f"{head_len + blob_len} bytes"
+        ) from None
+    return decode_frame(prefix + rest)
+
+
+# ---------------------------------------------------------------------------
+# Worker side (synchronous frame loop, forked process)
+# ---------------------------------------------------------------------------
+
+
+def _k_search(env: dict, step: dict) -> None:
+    """Wire kernel: gather ``table[queries[lo:hi]]`` for a position block."""
+    table, queries = (env[name] for name in step["inputs"])
+    lo, hi = step["params"]["lo"], step["params"]["hi"]
+    env[step["outputs"][0]] = table[queries[lo:hi]]
+
+
+def _bucket(keys: np.ndarray, lo, hi) -> "tuple[np.ndarray, int]":
+    """Positions (ascending) of the keys in ``[lo, hi)`` plus the global
+    output offset (= count of keys below ``lo``); ``None`` bounds are open.
+    """
+    if lo is None and hi is None:
+        return np.arange(keys.shape[0], dtype=np.int64), 0
+    mask = np.ones(keys.shape[0], dtype=bool)
+    if lo is not None:
+        mask &= keys >= lo
+    if hi is not None:
+        mask &= keys < hi
+    offset = 0 if lo is None else int(np.count_nonzero(keys < lo))
+    return np.flatnonzero(mask), offset
+
+
+def _k_sort(env: dict, step: dict) -> None:
+    """Wire kernel: stable-sort this worker's key bucket.
+
+    Outputs the bucket's slice of the global stable argsort and the
+    values gathered through it, plus the scalar output offset — the
+    buckets' key ranges are disjoint and ascending, so the parent's
+    slice-assembly reproduces the serial kernel bit for bit.
+    """
+    keys, values = (env[name] for name in step["inputs"])
+    lo, hi = step["params"]["lo"], step["params"]["hi"]
+    idx, offset = _bucket(keys, lo, hi)
+    seg = idx[np.argsort(keys[idx], kind="stable")]
+    env[step["outputs"][0]] = seg
+    env[step["outputs"][1]] = values[seg]
+    env[step["outputs"][2]] = np.array([offset], dtype=np.int64)
+
+
+def _k_reduce(env: dict, step: dict) -> None:
+    """Wire kernel: grouped fold over this worker's key bucket.
+
+    Key ranges are disjoint across workers, so no combine step exists;
+    the parent concatenates ``unique``/``reduced`` in bucket order and
+    splices each bucket's slice of the global sort permutation.
+    """
+    keys, values = (env[name] for name in step["inputs"])
+    params = step["params"]
+    idx, offset = _bucket(keys, params["lo"], params["hi"])
+    if idx.size:
+        unique, reduced, local = _grouped_reduce(
+            keys[idx], values[idx], params["op"]
+        )
+        seg = idx[local]
+    else:
+        unique = keys[:0]
+        reduced = values[:0]
+        seg = idx
+    env[step["outputs"][0]] = seg
+    env[step["outputs"][1]] = unique
+    env[step["outputs"][2]] = reduced
+    env[step["outputs"][3]] = np.array([offset], dtype=np.int64)
+
+
+def _k_gather_incoming(env: dict, step: dict) -> None:
+    """Wire kernel: ``incoming = labels[send[lo:hi]]`` for a position block."""
+    labels, send = (env[name] for name in step["inputs"])
+    lo, hi = step["params"]["lo"], step["params"]["hi"]
+    env[step["outputs"][0]] = labels[send[lo:hi]]
+
+
+def _k_min_fold(env: dict, step: dict) -> None:
+    """Wire kernel: min-fold the incidences landing in a label block.
+
+    Min is commutative, associative, and idempotent, so partitioning the
+    scatter by receiving-label range reproduces the serial result
+    exactly (the same argument the process backend's fold relies on).
+    """
+    labels, send, recv = (env[name] for name in step["inputs"])
+    lo, hi = step["params"]["lo"], step["params"]["hi"]
+    out = labels[lo:hi].copy()
+    mask = (recv >= lo) & (recv < hi)
+    np.minimum.at(out, recv[mask] - lo, labels[send[mask]])
+    env[step["outputs"][0]] = out
+
+
+#: Step kernels a worker executes (op name → kernel).
+WIRE_KERNELS = {
+    "search": _k_search,
+    "sort": _k_sort,
+    "reduce": _k_reduce,
+    "gather_incoming": _k_gather_incoming,
+    "min_fold": _k_min_fold,
+}
+
+
+def _rpc_worker_main(path: str, worker_id: int) -> None:
+    """Worker process: connect back to the parent and serve frames.
+
+    Each op frame carries an OpStep-shaped step sequence; the worker
+    executes the steps against an environment seeded with the frame's
+    arrays (plus its digest cache) and replies with one ACK frame
+    holding the arrays named in ``returns``.  ``ping`` frames get an
+    immediate ``pong``; a ``shutdown`` frame or EOF ends the loop.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.connect(path)
+        send_frame(sock, {"kind": "hello", "worker": worker_id})
+        cache: "dict[str, np.ndarray]" = {}
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                return
+            header, blob = frame
+            kind = header.get("kind")
+            if kind == "shutdown":
+                return
+            if kind == "ping":
+                send_frame(sock, {"kind": "pong", "call": header["call"]})
+                continue
+            if kind != "op":
+                send_frame(
+                    sock,
+                    {
+                        "kind": "err",
+                        "call": header.get("call"),
+                        "error": "RpcProtocolError",
+                        "message": f"unknown frame kind {kind!r}",
+                    },
+                )
+                continue
+            for digest in header.get("evict", ()):
+                cache.pop(digest, None)
+            try:
+                env = unpack_arrays(header["arrays"], blob, cache)
+                for step in header["steps"]:
+                    WIRE_KERNELS[step["op"]](env, step)
+                meta, out_blob, _ = pack_arrays(
+                    {name: env[name] for name in header["returns"]}
+                )
+            except BaseException as exc:  # noqa: BLE001 - ship failures back
+                send_frame(
+                    sock,
+                    {
+                        "kind": "err",
+                        "call": header["call"],
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                    },
+                )
+                continue
+            send_frame(
+                sock,
+                {"kind": "ack", "call": header["call"], "arrays": meta},
+                out_blob,
+            )
+            if header.get("dup_ack"):
+                # Test-only fault injection: repeat the ACK verbatim so
+                # the parent's router can prove it fails closed.
+                send_frame(
+                    sock,
+                    {"kind": "ack", "call": header["call"], "arrays": meta},
+                    out_blob,
+                )
+    except (RpcError, OSError):
+        return
+    finally:
+        sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side (asyncio pool on a background thread)
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side state of one connected worker."""
+
+    def __init__(self, proc, reader, writer):
+        self.proc = proc
+        self.reader = reader
+        self.writer = writer
+        self.digests: "set[str]" = set()
+        self.digest_order: "list[tuple[str, int]]" = []
+        self.cache_bytes = 0
+        self.pending: "dict[int, asyncio.Future]" = {}
+        self.dead: "str | None" = None
+        self.dead_kind: type = RpcWorkerError
+
+
+def _stop_rpc_pool(procs, loop, thread, tempdir) -> None:
+    """Finalizer: stop the loop thread, reap workers, remove the socket dir."""
+    if loop is not None and not loop.is_closed():
+
+        def _cancel_and_stop() -> None:
+            tasks = list(asyncio.all_tasks(loop))
+            for task in tasks:
+                task.cancel()
+
+            async def _drain() -> None:
+                # Let the cancellations actually run before stopping,
+                # else asyncio warns about destroyed pending tasks.
+                await asyncio.gather(*tasks, return_exceptions=True)
+                loop.stop()
+
+            asyncio.ensure_future(_drain())
+
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(_cancel_and_stop)
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
+        if not loop.is_running():
+            with contextlib.suppress(RuntimeError):
+                loop.close()
+    for proc in procs:
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            # SIGKILL, not SIGTERM: a SIGSTOP'd worker queues SIGTERM
+            # until continued, which would hang this reap.
+            proc.kill()
+            proc.join(timeout=2.0)
+    if tempdir is not None:
+        with contextlib.suppress(OSError):
+            tempdir.cleanup()
+
+
+class _RpcPool:
+    """The parent half of the wire: workers, event loop, heartbeats.
+
+    All socket I/O happens on one asyncio event loop running in a
+    daemon thread; the synchronous kernel path submits coroutines with
+    ``run_coroutine_threadsafe`` and blocks on the result.  One
+    :meth:`barrier` call is one ACK barrier across every participating
+    worker.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        connect_timeout: float,
+        call_timeout: float,
+        max_retries: int,
+        backoff: float,
+        heartbeat_interval: float,
+        heartbeat_timeout: float,
+        cache_bytes: int,
+        counters: dict,
+    ):
+        self.workers = workers
+        self.connect_timeout = connect_timeout
+        self.call_timeout = call_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.cache_bytes = cache_bytes
+        self.counters = counters
+        self._handles: "list[_WorkerHandle]" = []
+        self._procs: list = []
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._tempdir: "tempfile.TemporaryDirectory | None" = None
+        self._call_counter = 0
+        self._closed = False
+        self._finalizer = None
+        self.socket_path: "str | None" = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the rendezvous socket, fork workers, accept them all.
+
+        Raises :class:`RpcTimeoutError` when a worker fails to connect
+        within ``connect_timeout`` (after bounded respawn retries).
+        """
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-rpc-")
+        self.socket_path = os.path.join(
+            self._tempdir.name, f"pool-{os.getpid()}.sock"
+        )
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(self.workers)
+        listener.setblocking(False)
+
+        ctx = _mp_context()
+        for worker_id in range(self.workers):
+            proc = ctx.Process(
+                target=_rpc_worker_main,
+                args=(self.socket_path, worker_id),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="rpc-pool", daemon=True
+        )
+        self._thread.start()
+        self._finalizer = weakref.finalize(
+            self,
+            _stop_rpc_pool,
+            list(self._procs),
+            self._loop,
+            self._thread,
+            self._tempdir,
+        )
+        try:
+            fut = asyncio.run_coroutine_threadsafe(
+                self._accept_all(listener), self._loop
+            )
+            fut.result(timeout=self.connect_timeout + 5.0)
+        except Exception:
+            self.close()
+            raise
+        finally:
+            listener.close()
+
+    async def _accept_all(self, listener: socket.socket) -> None:
+        """Accept every worker's connection and start its reader task."""
+        loop = asyncio.get_running_loop()
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.05
+        accepted = 0
+        attempts = 0
+        while accepted < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RpcTimeoutError(
+                    f"only {accepted}/{self.workers} workers connected "
+                    f"within {self.connect_timeout:.1f}s"
+                )
+            try:
+                conn, _ = await asyncio.wait_for(
+                    loop.sock_accept(listener), timeout=remaining
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                # Bounded retry-and-backoff: respawn any dead stragglers
+                # before giving up on the deadline above.
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise RpcTimeoutError(
+                        f"only {accepted}/{self.workers} workers connected "
+                        f"within {self.connect_timeout:.1f}s"
+                    ) from None
+                await asyncio.sleep(delay)
+                delay *= self.backoff
+                continue
+            reader, writer = await asyncio.open_connection(sock=conn)
+            frame = await read_frame_async(reader)
+            if frame is None or frame[0].get("kind") != "hello":
+                raise RpcProtocolError("worker sent no hello frame")
+            handle = _WorkerHandle(
+                self._procs[frame[0]["worker"]], reader, writer
+            )
+            self._handles.append(handle)
+            asyncio.ensure_future(self._reader_task(handle))
+            accepted += 1
+        self._handles.sort(key=lambda h: h.proc.pid)
+        asyncio.ensure_future(self._heartbeat_task())
+
+    def close(self) -> None:
+        """Stop the loop thread, reap workers, unlink the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._loop.is_running():
+            with contextlib.suppress(Exception):
+                asyncio.run_coroutine_threadsafe(
+                    self._shutdown_workers(), self._loop
+                ).result(timeout=2.0)
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    async def _shutdown_workers(self) -> None:
+        """Send polite shutdown frames and close every writer."""
+        for handle in self._handles:
+            with contextlib.suppress(Exception):
+                handle.writer.write(encode_frame({"kind": "shutdown"}))
+                await handle.writer.drain()
+            with contextlib.suppress(Exception):
+                handle.writer.close()
+
+    @property
+    def failed(self) -> bool:
+        """True once any worker has been marked dead (pool fails closed)."""
+        return self._closed or any(h.dead for h in self._handles)
+
+    @property
+    def dead_workers(self) -> "list[str]":
+        """Reasons for every worker currently marked dead."""
+        return [h.dead for h in self._handles if h.dead]
+
+    # -- routing -------------------------------------------------------------
+
+    def _fail_worker(self, handle: _WorkerHandle, kind: type, reason: str):
+        """Mark a worker dead and fail its pending calls (fail closed)."""
+        if handle.dead is None:
+            handle.dead = reason
+            handle.dead_kind = kind
+        for fut in list(handle.pending.values()):
+            if not fut.done():
+                fut.set_exception(kind(reason))
+        handle.pending.clear()
+        with contextlib.suppress(Exception):
+            handle.writer.close()
+
+    async def _reader_task(self, handle: _WorkerHandle) -> None:
+        """Route every inbound frame to its pending call future.
+
+        A frame whose call id has no pending future — a duplicate ACK,
+        or an ACK for a call that already timed out — is a protocol
+        violation: the worker is marked dead and the pool fails closed.
+        """
+        while True:
+            try:
+                frame = await read_frame_async(handle.reader)
+            except RpcProtocolError as exc:
+                self._fail_worker(handle, RpcProtocolError, str(exc))
+                return
+            except (ConnectionError, OSError) as exc:
+                self._fail_worker(
+                    handle, RpcWorkerError, f"connection lost: {exc}"
+                )
+                return
+            if frame is None:
+                if handle.dead is None and (handle.pending or not self._closed):
+                    self._fail_worker(
+                        handle,
+                        RpcWorkerError,
+                        f"worker pid {handle.proc.pid} closed its connection",
+                    )
+                return
+            header, blob = frame
+            fut = handle.pending.pop(header.get("call"), None)
+            if fut is None:
+                self._fail_worker(
+                    handle,
+                    RpcProtocolError,
+                    f"duplicate or unmatched ACK for call "
+                    f"{header.get('call')!r} from worker pid "
+                    f"{handle.proc.pid}",
+                )
+                return
+            if fut.done():  # pragma: no cover - cancelled by timeout
+                continue
+            kind = header.get("kind")
+            if kind == "err":
+                fut.set_exception(
+                    RpcWorkerError(
+                        f"worker pid {handle.proc.pid} failed: "
+                        f"{header.get('error')}: {header.get('message')}"
+                    )
+                )
+            else:
+                self.counters["acks"] += 1
+                fut.set_result((header, blob))
+
+    async def _call(
+        self,
+        handle: _WorkerHandle,
+        header: dict,
+        blob: bytes,
+        *,
+        timeout: float,
+        retries: int,
+    ) -> "tuple[dict, bytes]":
+        """Send one frame and await its ACK with bounded retry-and-backoff.
+
+        Each retry re-arms the wait with an exponentially longer
+        deadline (the frame is not re-sent — the barrier protocol is
+        not idempotent); exhausting the budget raises
+        :class:`RpcTimeoutError` and the caller fails the pool closed.
+        """
+        if handle.dead is not None:
+            raise handle.dead_kind(handle.dead)
+        self._call_counter += 1
+        call_id = self._call_counter
+        header = dict(header, call=call_id)
+        fut = asyncio.get_running_loop().create_future()
+        handle.pending[call_id] = fut
+        try:
+            handle.writer.write(encode_frame(header, blob))
+            await handle.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            handle.pending.pop(call_id, None)
+            self._fail_worker(
+                handle, RpcWorkerError, f"send failed: {exc}"
+            )
+            raise RpcWorkerError(
+                f"worker pid {handle.proc.pid} unreachable: {exc}"
+            ) from None
+        delay = timeout
+        for attempt in range(retries + 1):
+            try:
+                return await asyncio.wait_for(asyncio.shield(fut), delay)
+            except (asyncio.TimeoutError, TimeoutError):
+                if attempt < retries:
+                    self.counters["retries"] += 1
+                    delay *= self.backoff
+        handle.pending.pop(call_id, None)
+        raise RpcTimeoutError(
+            f"worker pid {handle.proc.pid} did not ACK call {call_id} "
+            f"within {timeout:.2f}s x {retries + 1} attempts"
+        )
+
+    async def _heartbeat_task(self) -> None:
+        """Ping idle workers; a missed deadline marks the worker dead.
+
+        Workers with calls in flight are skipped — the ACK itself
+        proves liveness, and a worker mid-kernel cannot answer pings.
+        """
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self._closed:
+                return
+            for handle in self._handles:
+                if handle.dead is not None or handle.pending:
+                    continue
+                try:
+                    await self._call(
+                        handle,
+                        {"kind": "ping"},
+                        b"",
+                        timeout=self.heartbeat_timeout,
+                        retries=0,
+                    )
+                    self.counters["heartbeats"] += 1
+                except RpcTimeoutError:
+                    self._fail_worker(
+                        handle,
+                        RpcWorkerError,
+                        f"worker pid {handle.proc.pid} missed the "
+                        f"{self.heartbeat_timeout:.1f}s heartbeat deadline",
+                    )
+                except RpcError:
+                    continue
+
+    # -- barrier dispatch ----------------------------------------------------
+
+    def barrier(self, payloads: "list[dict | None]") -> "list[dict]":
+        """One ACK barrier: send ``payloads[i]`` to worker ``i``, await all.
+
+        Each payload is ``{"steps": [...], "arrays": {name: ndarray},
+        "returns": [...]}`` (``None`` skips the worker).  Returns the
+        decoded output-array dict per participating payload, in order.
+        Any failure closes the pool (fail closed) and re-raises typed.
+        """
+        if self._closed or self._loop is None or self._loop.is_closed():
+            reasons = "; ".join(self.dead_workers) or "pool shut down"
+            raise RpcWorkerError(f"pool is closed: {reasons}")
+        fut = asyncio.run_coroutine_threadsafe(
+            self._barrier_async(payloads), self._loop
+        )
+        try:
+            return fut.result()
+        except RpcError:
+            self.close()
+            raise
+
+    async def _barrier_async(self, payloads) -> "list[dict]":
+        calls = []
+        for handle, payload in zip(self._handles, payloads):
+            if payload is None:
+                continue
+            arrays = {
+                name: np.ascontiguousarray(a)
+                for name, a in payload["arrays"].items()
+            }
+            meta, blob, shipped = pack_arrays(arrays, known=handle.digests)
+            self.counters["digest_misses"] += len(shipped)
+            self.counters["digest_hits"] += len(meta) - len(shipped)
+            evict = self._plan_eviction(handle, arrays, shipped)
+            header = {
+                "kind": "op",
+                "steps": payload["steps"],
+                "arrays": meta,
+                "returns": payload["returns"],
+            }
+            if evict:
+                header["evict"] = evict
+            if payload.get("dup_ack"):
+                header["dup_ack"] = True
+            frame_bytes = len(encode_frame(header, blob))
+            self.counters["op_frames"] += 1
+            self.counters["op_wire_bytes"] += frame_bytes
+            calls.append(
+                self._call(
+                    handle,
+                    header,
+                    blob,
+                    timeout=self.call_timeout,
+                    retries=self.max_retries,
+                )
+            )
+        replies = await asyncio.gather(*calls, return_exceptions=True)
+        results: "list[dict]" = []
+        first_error = None
+        for reply in replies:
+            if isinstance(reply, BaseException):
+                if first_error is None:
+                    first_error = reply
+                continue
+            header, blob = reply
+            self.counters["op_frames"] += 1
+            self.counters["op_wire_bytes"] += len(
+                encode_frame(header, blob)
+            )
+            # A fresh per-frame cache resolves same-frame references
+            # (two identical output arrays dedup inside one ACK).
+            results.append(unpack_arrays(header["arrays"], blob, {}))
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _plan_eviction(self, handle, arrays, shipped) -> "list[str]":
+        """Keep each worker's digest cache under ``cache_bytes``.
+
+        The parent drives eviction deterministically (FIFO by first
+        shipment) and tells the worker which digests to drop in the op
+        frame, so both sides always agree on cache contents.
+        """
+        by_digest = {
+            content_digest(a): int(np.ascontiguousarray(a).nbytes)
+            for a in arrays.values()
+        }
+        for digest in shipped:
+            handle.digests.add(digest)
+            size = by_digest.get(digest, 0)
+            handle.digest_order.append((digest, size))
+            handle.cache_bytes += size
+        evict: "list[str]" = []
+        while (
+            handle.cache_bytes > self.cache_bytes
+            and len(handle.digest_order) > len(shipped)
+        ):
+            digest, size = handle.digest_order.pop(0)
+            if digest in set(shipped):
+                handle.digest_order.append((digest, size))
+                continue
+            handle.digests.discard(digest)
+            handle.cache_bytes -= size
+            evict.append(digest)
+        return evict
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class RpcBackend(ShardedBackend):
+    """Sharded execution over a socket wire protocol (see module docs).
+
+    Accounting (capacity enforcement, exchange/byte counters, op
+    counts) is inherited unchanged from
+    :class:`~repro.mpc.backends.ShardedBackend`; only the ``_kernel_*``
+    compute hooks are overridden, so results *and* model counters are
+    bit-identical to the serial backend while kernels execute in worker
+    processes across length-prefixed frames.
+
+    Parameters
+    ----------
+    shard_memory:
+        Per-shard capacity ``s`` in words; bound to the owning engine's
+        ``machine_memory`` at attach time when ``None``.
+    max_shards:
+        Optional hard fleet size (as in the sharded backend).
+    workers:
+        Worker processes behind the wire (default 2 — wire overhead
+        grows with fan-out, and certification needs at least two
+        partitions).
+    min_wire_items:
+        Operations touching fewer words than this run on the serial
+        kernels (default
+        :data:`~repro.mpc.process_backend.DEFAULT_MIN_PARALLEL_ITEMS`);
+        set to 0 to force every operation across the wire (the
+        certification and differential tests do).
+    connect_timeout:
+        Seconds the pool waits for every worker to connect at startup.
+    call_timeout:
+        Base seconds to await one op/ACK before the retry schedule.
+    max_retries:
+        Bounded retry budget: extra exponentially-backed-off waits per
+        call (and respawn attempts at connect time) before the typed
+        :class:`RpcTimeoutError`.
+    backoff:
+        Multiplier applied to the deadline on each retry.
+    heartbeat_interval / heartbeat_timeout:
+        Idle-worker ping cadence and the pong deadline after which a
+        worker is declared dead.
+    cache_bytes:
+        Per-worker digest-cache budget; the parent evicts FIFO beyond
+        it (both sides stay agreed because eviction rides in op frames).
+
+    Raises
+    ------
+    RpcTimeoutError
+        Pool construction or a call exceeded its configured deadline.
+    RpcWorkerError
+        A worker died, failed a kernel, or missed its heartbeat.
+    RpcProtocolError
+        A malformed frame or duplicate ACK crossed the wire.
+    """
+
+    name = "rpc"
+
+    def __init__(
+        self,
+        shard_memory: "int | None" = None,
+        *,
+        max_shards: "int | None" = None,
+        workers: int = 2,
+        min_wire_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
+        connect_timeout: float = 10.0,
+        call_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff: float = 2.0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float = 10.0,
+        cache_bytes: int = 64 * 1024 * 1024,
+    ):
+        super().__init__(shard_memory, max_shards=max_shards)
+        self.workers = check_positive_int(workers, "workers")
+        self.min_wire_items = check_nonnegative_int(
+            min_wire_items, "min_wire_items"
+        )
+        self.connect_timeout = float(connect_timeout)
+        self.call_timeout = float(call_timeout)
+        self.max_retries = check_nonnegative_int(max_retries, "max_retries")
+        self.backoff = float(backoff)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.cache_bytes = check_positive_int(cache_bytes, "cache_bytes")
+        self._pool: "_RpcPool | None" = None
+        self.workers_restarted = 0
+        self._transport = dict.fromkeys(
+            (
+                "op_frames",
+                "op_wire_bytes",
+                "acks",
+                "digest_hits",
+                "digest_misses",
+                "heartbeats",
+                "retries",
+            ),
+            0,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "RpcBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the pool: loop thread, workers, and the socket directory.
+
+        Idempotent; counters stay readable, and the pool restarts
+        lazily on the next wire operation, so a closed backend remains
+        usable (the recovery path the fault suite exercises).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def reset(self) -> None:
+        """Clear run counters; the pool and worker digest caches survive."""
+        super().reset()
+        for key in self._transport:
+            self._transport[key] = 0
+        self.workers_restarted = 0
+
+    def _ensure_pool(self) -> _RpcPool:
+        """The live pool, (re)started on demand after close or failure."""
+        if self._pool is not None and self._pool.failed:
+            self._pool.close()
+            self._pool = None
+            self.workers_restarted += 1
+        if self._pool is None:
+            pool = _RpcPool(
+                self.workers,
+                connect_timeout=self.connect_timeout,
+                call_timeout=self.call_timeout,
+                max_retries=self.max_retries,
+                backoff=self.backoff,
+                heartbeat_interval=self.heartbeat_interval,
+                heartbeat_timeout=self.heartbeat_timeout,
+                cache_bytes=self.cache_bytes,
+                counters=self._transport,
+            )
+            pool.start()
+            self._pool = pool
+        return self._pool
+
+    # -- reporting -----------------------------------------------------------
+
+    def transport_stats(self) -> dict:
+        """The live transport telemetry block (see module docs)."""
+        return {
+            **self._transport,
+            "workers_restarted": self.workers_restarted,
+        }
+
+    def dead_workers(self) -> "list[str]":
+        """Reasons for workers currently marked dead (empty when healthy)."""
+        if self._pool is None:
+            return []
+        return self._pool.dead_workers
+
+    def stats(self):
+        """Sharded counters plus pool size and wire telemetry."""
+        snapshot = super().stats()
+        snapshot.workers = self.workers
+        snapshot.transport = self.transport_stats()
+        return snapshot
+
+    # -- partitioning (identical semantics to the process backend) -----------
+
+    def _use_wire(self, n: int) -> bool:
+        return n > 0 and n >= self.min_wire_items
+
+    def _blocks(self, n: int) -> "list[tuple[int, int]]":
+        """Shard-aligned position blocks: worker ``w`` owns the
+        ``ceil(shard_count / workers)`` consecutive shards of block ``w``.
+        """
+        s = self._s
+        shards = max(1, math.ceil(n / s))
+        per_worker = math.ceil(shards / min(self.workers, shards))
+        blocks = []
+        for w in range(self.workers):
+            lo = w * per_worker * s
+            if lo >= n:
+                break
+            blocks.append((lo, min(n, (w + 1) * per_worker * s)))
+        return blocks
+
+    def _key_bounds(self, keys: np.ndarray) -> "list[tuple]":
+        """Splitter-delimited key ranges for sample sort (identical
+        construction to the process backend, so partitions — and
+        therefore every assembled result — match it bit for bit).
+        """
+        buckets = max(1, min(self.workers, self.shards_for(int(keys.shape[0]))))
+        if buckets == 1:
+            return [(None, None)]
+        step = max(1, keys.shape[0] // (buckets * 64))
+        sample = np.sort(keys[::step], kind="stable")
+        positions = [(sample.shape[0] * i) // buckets for i in range(1, buckets)]
+        splitters = np.unique(sample[positions])
+        bounds = [None, *splitters.tolist(), None]
+        return list(zip(bounds[:-1], bounds[1:]))
+
+    @staticmethod
+    def _partitionable(keys: np.ndarray) -> bool:
+        """Key dtypes the range partition handles exactly; anything else
+        falls back to the serial kernel (as in the process backend).
+        """
+        if keys.dtype.kind in "iub":
+            return True
+        if keys.dtype.kind == "f":
+            return bool(np.isfinite(keys).all())
+        return False
+
+    @staticmethod
+    def _wire_safe(*arrays: np.ndarray) -> bool:
+        """True iff every array is plain binary data (no object dtypes)."""
+        return not any(array.dtype.hasobject for array in arrays)
+
+    @staticmethod
+    def _json_bound(value):
+        """A splitter bound as a JSON scalar (numpy scalars intact)."""
+        if value is None:
+            return None
+        if isinstance(value, (int, float)):
+            return value
+        return value.item()
+
+    # -- wire kernels --------------------------------------------------------
+
+    def _kernel_search(self, table: np.ndarray, queries: np.ndarray):
+        n = int(queries.shape[0])
+        if (
+            not self._use_wire(n)
+            or queries.ndim != 1
+            or queries.dtype.kind not in "iu"
+            or table.ndim > 2
+            or not self._wire_safe(table)
+        ):
+            return super()._kernel_search(table, queries)
+        blocks = self._blocks(n)
+        payloads = [
+            {
+                "steps": [
+                    {
+                        "op": "search",
+                        "inputs": ["table", "queries"],
+                        "outputs": ["found"],
+                        "params": {"lo": lo, "hi": hi},
+                    }
+                ],
+                "arrays": {"table": table, "queries": queries},
+                "returns": ["found"],
+            }
+            for lo, hi in blocks
+        ]
+        replies = self._ensure_pool().barrier(self._pad(payloads))
+        out = np.empty((n,) + table.shape[1:], dtype=table.dtype)
+        for (lo, hi), reply in zip(blocks, replies):
+            out[lo:hi] = reply["found"]
+        return out
+
+    def _kernel_sort(self, values: np.ndarray, keys: np.ndarray):
+        n = int(values.shape[0])
+        if (
+            not self._use_wire(n)
+            or keys.ndim != 1
+            or values.ndim > 2
+            or not self._partitionable(keys)
+            or not self._wire_safe(values)
+        ):
+            return super()._kernel_sort(values, keys)
+        bounds = self._key_bounds(keys)
+        payloads = [
+            {
+                "steps": [
+                    {
+                        "op": "sort",
+                        "inputs": ["keys", "values"],
+                        "outputs": ["order", "sorted", "offset"],
+                        "params": {
+                            "lo": self._json_bound(lo),
+                            "hi": self._json_bound(hi),
+                        },
+                    }
+                ],
+                "arrays": {"keys": keys, "values": values},
+                "returns": ["order", "sorted", "offset"],
+            }
+            for lo, hi in bounds
+        ]
+        replies = self._ensure_pool().barrier(self._pad(payloads))
+        out_values = np.empty_like(values)
+        out_order = np.empty(n, dtype=np.int64)
+        for reply in replies:
+            off = int(reply["offset"][0])
+            seg = reply["order"]
+            out_order[off : off + seg.shape[0]] = seg
+            out_values[off : off + seg.shape[0]] = reply["sorted"]
+        return out_values, out_order
+
+    def _kernel_reduce(self, keys: np.ndarray, values: np.ndarray, op: str):
+        n = int(keys.shape[0])
+        if (
+            not self._use_wire(n)
+            or keys.ndim != 1
+            or values.ndim > 2
+            or not self._partitionable(keys)
+            or not self._wire_safe(values)
+        ):
+            return super()._kernel_reduce(keys, values, op)
+        bounds = self._key_bounds(keys)
+        payloads = [
+            {
+                "steps": [
+                    {
+                        "op": "reduce",
+                        "inputs": ["keys", "values"],
+                        "outputs": ["order", "unique", "reduced", "offset"],
+                        "params": {
+                            "lo": self._json_bound(lo),
+                            "hi": self._json_bound(hi),
+                            "op": op,
+                        },
+                    }
+                ],
+                "arrays": {"keys": keys, "values": values},
+                "returns": ["order", "unique", "reduced", "offset"],
+            }
+            for lo, hi in bounds
+        ]
+        replies = self._ensure_pool().barrier(self._pad(payloads))
+        out_order = np.empty(n, dtype=np.int64)
+        uniques = []
+        reduceds = []
+        for reply in replies:
+            off = int(reply["offset"][0])
+            seg = reply["order"]
+            out_order[off : off + seg.shape[0]] = seg
+            uniques.append(reply["unique"])
+            reduceds.append(reply["reduced"])
+        # Key ranges are disjoint and ascending, so concatenating the
+        # per-bucket unique/reduced slices yields the global result.
+        unique = np.concatenate(uniques) if uniques else keys[:0]
+        reduced = np.concatenate(reduceds) if reduceds else values[:0]
+        return unique.astype(keys.dtype, copy=False), reduced, out_order
+
+    def _kernel_min_label(
+        self, labels: np.ndarray, send: np.ndarray, recv: np.ndarray
+    ):
+        n = int(labels.shape[0]) + int(send.shape[0])
+        if (
+            not self._use_wire(n)
+            or labels.ndim != 1
+            or send.ndim != 1
+            or not self._wire_safe(labels)
+        ):
+            return super()._kernel_min_label(labels, send, recv)
+        pos_blocks = self._blocks(int(send.shape[0]))
+        label_blocks = self._blocks(int(labels.shape[0]))
+        payloads = []
+        for w in range(max(len(pos_blocks), len(label_blocks))):
+            steps = []
+            returns = []
+            if w < len(pos_blocks):
+                lo, hi = pos_blocks[w]
+                steps.append(
+                    {
+                        "op": "gather_incoming",
+                        "inputs": ["labels", "send"],
+                        "outputs": ["incoming"],
+                        "params": {"lo": lo, "hi": hi},
+                    }
+                )
+                returns.append("incoming")
+            if w < len(label_blocks):
+                lo, hi = label_blocks[w]
+                steps.append(
+                    {
+                        "op": "min_fold",
+                        "inputs": ["labels", "send", "recv"],
+                        "outputs": ["folded"],
+                        "params": {"lo": lo, "hi": hi},
+                    }
+                )
+                returns.append("folded")
+            payloads.append(
+                {
+                    "steps": steps,
+                    "arrays": {"labels": labels, "send": send, "recv": recv},
+                    "returns": returns,
+                }
+            )
+        replies = self._ensure_pool().barrier(self._pad(payloads))
+        incoming = np.empty(send.shape, dtype=labels.dtype)
+        new_labels = np.empty_like(labels)
+        for w, reply in enumerate(replies):
+            if w < len(pos_blocks):
+                lo, hi = pos_blocks[w]
+                incoming[lo:hi] = reply["incoming"]
+            if w < len(label_blocks):
+                lo, hi = label_blocks[w]
+                new_labels[lo:hi] = reply["folded"]
+        return new_labels, incoming
+
+    def _pad(self, payloads: list) -> list:
+        """Pad a payload list with ``None`` to the pool's worker count."""
+        return payloads + [None] * (self.workers - len(payloads))
+
+
+#: Selecting ``backend="rpc"`` anywhere resolves to this class.
+BACKENDS["rpc"] = RpcBackend

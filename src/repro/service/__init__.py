@@ -1,0 +1,32 @@
+"""Long-lived connectivity service over the RPC wire protocol.
+
+The millions-of-users deployment shape from the ROADMAP: a resident
+:class:`ServiceServer` holds a graph store and answers connectivity
+queries computed once per graph through
+:func:`repro.core.pipeline.mpc_connected_components` — over any
+registered engine and any execution backend, including the
+wire-protocol :class:`~repro.mpc.rpc.RpcBackend` — while many
+concurrent :class:`ServiceClient` connections admit batched queries.
+
+Results are cached by the same graph-content digest the plan-trace
+layer uses (:func:`repro.mpc.plan.graph_digest`), so repeat queries —
+including a streaming maintainer re-asking about an unchanged prefix
+via :meth:`repro.streaming.StreamingConnectivity.graph_digest` — cost
+one cache lookup, and concurrent first queries for the same graph
+share a single computation.
+
+Everything speaks the length-prefixed frame codec of
+:mod:`repro.mpc.rpc`; failures surface as the typed
+:class:`ServiceError` / :class:`~repro.mpc.rpc.RpcError` family, never
+as hangs or bare socket errors.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import ServiceError
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+]

@@ -1,0 +1,178 @@
+"""Synchronous client for the connectivity service.
+
+One :class:`ServiceClient` holds one blocking Unix-domain connection.
+Calls are serialised per client by an internal lock (one request, one
+reply), so a single instance is safe to share between threads; for
+genuine concurrency open one client per thread — the server multiplexes
+connections on its event loop either way.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+
+from repro.mpc.rpc import (
+    RpcProtocolError,
+    RpcTimeoutError,
+    pack_arrays,
+    recv_frame,
+    send_frame,
+    unpack_arrays,
+)
+from repro.service.protocol import (
+    DEFAULT_CALL_TIMEOUT,
+    DEFAULT_CONNECT_TIMEOUT,
+    ServiceError,
+)
+
+
+class ServiceClient:
+    """Blocking client for one :class:`~repro.service.ServiceServer`.
+
+    Parameters
+    ----------
+    path:
+        The server's socket path (``ServiceServer.address``).
+    connect_timeout:
+        Seconds to wait for the initial connection.
+    call_timeout:
+        Seconds to wait for each reply; generous by default because a
+        cache-missing query runs a full pipeline computation.
+
+    Raises
+    ------
+    ServiceError
+        Connection failure, a server-reported error, or a reply
+        arriving for the wrong request.
+    RpcTimeoutError
+        No reply within ``call_timeout``.
+    RpcProtocolError
+        A malformed frame on the connection.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        call_timeout: float = DEFAULT_CALL_TIMEOUT,
+    ):
+        self.path = path
+        self.call_timeout = float(call_timeout)
+        self._lock = threading.Lock()
+        self._request_counter = 0
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(float(connect_timeout))
+        try:
+            self._sock.connect(path)
+        except (OSError, socket.timeout) as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot connect to service at {path!r}: {exc}"
+            ) from None
+        self._sock.settimeout(self.call_timeout)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(self, header: dict, blob: bytes = b"") -> "tuple[dict, bytes]":
+        """One request/reply exchange; raises the typed error family."""
+        if self._sock is None:
+            raise ServiceError("client is closed")
+        with self._lock:
+            self._request_counter += 1
+            request_id = self._request_counter
+            header = dict(header, id=request_id)
+            try:
+                send_frame(self._sock, header, blob)
+                reply = recv_frame(self._sock)
+            except socket.timeout:
+                self.close()
+                raise RpcTimeoutError(
+                    f"no reply from {self.path!r} within "
+                    f"{self.call_timeout:.1f}s"
+                ) from None
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                raise ServiceError(f"connection lost: {exc}") from None
+        if reply is None:
+            self.close()
+            raise ServiceError("server closed the connection")
+        reply_header, reply_blob = reply
+        if not reply_header.get("ok"):
+            raise ServiceError(
+                f"{reply_header.get('error', 'ServiceError')}: "
+                f"{reply_header.get('message', 'unknown server error')}"
+            )
+        if reply_header.get("id") != request_id:
+            self.close()
+            raise RpcProtocolError(
+                f"reply for request {reply_header.get('id')!r}, "
+                f"expected {request_id}"
+            )
+        return reply_header, reply_blob
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the server answers."""
+        header, _ = self._call({"op": "ping"})
+        return bool(header.get("pong"))
+
+    def put_graph(self, n: int, edges) -> str:
+        """Register a graph; returns its content digest (idempotent —
+        re-registering an identical graph returns the same digest and
+        keeps its cache entry).
+        """
+        edges = np.ascontiguousarray(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        )
+        meta, blob, _ = pack_arrays({"edges": edges})
+        header, _ = self._call(
+            {"op": "put_graph", "n": int(n), "arrays": meta}, blob
+        )
+        return header["digest"]
+
+    def components(self, digest: str) -> np.ndarray:
+        """Canonical component labels of a registered graph."""
+        header, blob = self._call({"op": "components", "digest": digest})
+        return unpack_arrays(header["arrays"], blob, {})["labels"]
+
+    def component_count(self, digest: str) -> int:
+        """Number of components of a registered graph."""
+        header, _ = self._call({"op": "component_count", "digest": digest})
+        return int(header["count"])
+
+    def connected(self, digest: str, pairs) -> np.ndarray:
+        """Batched same-component queries: ``pairs`` is array-like of
+        shape ``(k, 2)``; returns a boolean array of length ``k``.
+        """
+        pairs = np.ascontiguousarray(
+            np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        )
+        meta, blob, _ = pack_arrays({"pairs": pairs})
+        header, reply_blob = self._call(
+            {"op": "connected", "digest": digest, "arrays": meta}, blob
+        )
+        return unpack_arrays(header["arrays"], reply_blob, {})["connected"]
+
+    def stats(self) -> dict:
+        """The server's counter snapshot (see ``ServiceServer.stats``)."""
+        header, _ = self._call({"op": "stats"})
+        return header["stats"]

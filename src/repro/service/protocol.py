@@ -1,0 +1,62 @@
+"""Service-level protocol: operations, limits, and the typed error.
+
+The connectivity service reuses the RPC frame codec wholesale
+(:func:`repro.mpc.rpc.encode_frame` and friends); this module only pins
+down the *semantic* layer on top of it — which operations exist, what
+their headers carry, and the error type a client raises when the server
+reports a failure.
+
+Operations (the ``op`` header field of a request frame):
+
+``put_graph``
+    Register a graph: header carries ``n``, the blob carries the
+    ``(m, 2)`` edge array.  Reply returns the graph's content digest —
+    the key for every subsequent query.
+``components``
+    Full component labelling of a registered graph (by digest); the
+    reply blob carries the canonical label array.
+``connected``
+    Batched pair queries: the blob carries a ``(k, 2)`` vertex-pair
+    array, the reply a boolean array (same-component per pair).
+``component_count``
+    Number of components of a registered graph (header scalar reply).
+``stats``
+    Server counters: graphs held, queries served, cache hits/misses,
+    computations run.
+``ping``
+    Liveness probe (used by client connect checks and tests).
+
+Every reply frame carries ``ok: true`` or ``ok: false`` plus
+``error``/``message``; a client maps the latter to
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+from repro.mpc.rpc import RpcError
+
+#: Operations a server accepts (anything else is rejected typed).
+SERVICE_OPS = (
+    "put_graph",
+    "components",
+    "connected",
+    "component_count",
+    "stats",
+    "ping",
+)
+
+#: Default seconds a client waits for the initial connection.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Default seconds a client waits for one reply (covers a full
+#: pipeline computation on a cache miss, so it is generous).
+DEFAULT_CALL_TIMEOUT = 120.0
+
+
+class ServiceError(RpcError):
+    """A service-level failure reported by the server (unknown digest,
+    malformed query, engine failure) or detected by the client
+    (connection refused, reply timeout).  Subclasses
+    :class:`~repro.mpc.rpc.RpcError` so callers can catch the whole
+    wire-failure family with one ``except``.
+    """

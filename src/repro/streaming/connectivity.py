@@ -195,6 +195,22 @@ class StreamingConnectivity:
         expanded = np.repeat(ids, counts)
         return Graph(self.n, np.column_stack([expanded // self.n, expanded % self.n]))
 
+    def graph_digest(self) -> str:
+        """Content digest of the live multiset's deterministic materialisation.
+
+        The exact key :mod:`repro.service` caches connectivity results
+        under (:func:`repro.mpc.plan.graph_digest`), so a streaming
+        maintainer can hand its current prefix to a long-lived
+        :class:`~repro.service.ServiceClient` and hit the server's cache
+        whenever the same multiset has been queried before —
+        :meth:`current_graph` orders edges deterministically precisely
+        so equal multisets digest equal.
+        """
+        from repro.mpc.plan import graph_digest
+
+        graph = self.current_graph()
+        return graph_digest(graph.n, graph.edges)
+
     # -- queries -------------------------------------------------------------
 
     def query(self) -> np.ndarray:

@@ -1,7 +1,8 @@
 """Pipeline-level differential test harness.
 
-Runs the full Theorem 4 pipeline on *all three* execution backends
-(accounting-only local, enforced sharded, true-parallel process pool)
+Runs the full Theorem 4 pipeline on *all four* execution backends
+(accounting-only local, enforced sharded, true-parallel process pool,
+wire-protocol rpc)
 plus the four classical baselines across every registered generator
 family and asserts canonical-label agreement with the union-find ground
 truth.  On top of the correctness differential:
@@ -32,7 +33,7 @@ from repro.baselines import (
 from repro.bench.workloads import Workload, family_names
 from repro.graph import canonical_labels, components_agree
 from repro.graph.union_find import DisjointSetUnion
-from repro.mpc import MPCEngine, ProcessBackend, ShardedBackend
+from repro.mpc import MPCEngine, ProcessBackend, RpcBackend, ShardedBackend
 
 #: Laptop-scale constants: short capped walks under-mix on the weakly
 #: connected families, and the honest verification broadcast finishes the
@@ -77,12 +78,16 @@ def run_pipeline(graph, backend: str, *, delta: float = 0.5, rng: int = SEED):
         # Same pool, transient per-operation segments: the arena toggle
         # must never change labels, rounds, or counters.
         backend = ProcessBackend(workers=2, min_parallel_items=0, arena=False)
+    elif backend == "rpc":
+        # Force every operation across the wire protocol for the same
+        # reason min_parallel_items is zeroed above.
+        backend = RpcBackend(workers=2, min_wire_items=0)
     try:
         return repro.mpc_connected_components(
             graph, GAP_BOUND, config=config, rng=rng, backend=backend
         )
     finally:
-        if isinstance(backend, ProcessBackend):
+        if isinstance(backend, (ProcessBackend, RpcBackend)):
             backend.close()
 
 
@@ -100,16 +105,19 @@ class TestDifferential:
         sharded = run_pipeline(graph, "sharded")
         process = run_pipeline(graph, "process")
         noarena = run_pipeline(graph, "process-noarena")
+        rpc = run_pipeline(graph, "rpc")
         assert components_agree(local.labels, truth)
         assert components_agree(sharded.labels, truth)
         assert components_agree(process.labels, truth)
+        assert components_agree(rpc.labels, truth)
         # Stronger than agreement: the backends are bit-identical, with
-        # and without the shared-memory arena.
+        # and without the shared-memory arena, and across the wire.
         assert np.array_equal(local.labels, sharded.labels)
         assert np.array_equal(local.labels, process.labels)
         assert np.array_equal(local.labels, noarena.labels)
+        assert np.array_equal(local.labels, rpc.labels)
         assert (local.rounds == sharded.rounds == process.rounds
-                == noarena.rounds)
+                == noarena.rounds == rpc.rounds)
 
     @pytest.mark.parametrize("baseline", sorted(BASELINES))
     def test_baselines_match_truth(self, family, baseline):
@@ -150,10 +158,12 @@ class TestSeededDeterminism:
         labels_n, rounds_n, phases_n = self._summaries(
             graph, "process-noarena", delta
         )
+        labels_r, rounds_r, phases_r = self._summaries(graph, "rpc", delta)
         assert np.array_equal(labels_l, labels_s)
         assert np.array_equal(labels_l, labels_p)
         assert np.array_equal(labels_l, labels_n)
-        assert rounds_l == rounds_s == rounds_p == rounds_n
+        assert np.array_equal(labels_l, labels_r)
+        assert rounds_l == rounds_s == rounds_p == rounds_n == rounds_r
         # Phase breakdowns agree up to the data-plane exchange counters
         # (zero on the accounting-only backend by definition); the two
         # enforced backends must agree on those too.
@@ -164,6 +174,7 @@ class TestSeededDeterminism:
         assert strip(phases_l) == strip(phases_s)
         assert phases_s == phases_p
         assert phases_s == phases_n
+        assert phases_s == phases_r
 
     def test_different_seed_different_randomness(self, delta):
         # Canonical labels are seed-invariant (they only encode the true

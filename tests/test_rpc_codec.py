@@ -1,0 +1,211 @@
+"""Wire codec property tests: round-trips and typed malformed-frame errors.
+
+Hypothesis drives arbitrary headers, dtypes, shapes, and step sequences
+through encode → frame → decode and asserts bit-identity; every
+corruption mode (bad magic, truncation, oversized announcements, junk
+JSON, dangling digest references, object dtypes) must raise the typed
+:class:`~repro.mpc.rpc.RpcProtocolError` — never hang, never leak a
+bare ``struct``/``json``/``UnicodeDecodeError``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.rpc import (
+    FRAME_MAGIC,
+    MAX_BLOB_BYTES,
+    MAX_HEADER_BYTES,
+    RpcProtocolError,
+    decode_frame,
+    encode_frame,
+    pack_arrays,
+    unpack_arrays,
+)
+
+DTYPES = [
+    np.int8, np.uint8, np.int16, np.int32, np.uint32, np.int64, np.uint64,
+    np.float32, np.float64, np.bool_,
+]
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+headers = st.dictionaries(
+    st.text(min_size=1, max_size=20),
+    st.one_of(
+        json_scalars,
+        st.lists(json_scalars, max_size=5),
+        st.dictionaries(st.text(max_size=10), json_scalars, max_size=4),
+    ),
+    max_size=6,
+)
+
+
+@st.composite
+def arrays(draw):
+    dtype = draw(st.sampled_from(DTYPES))
+    shape = tuple(
+        draw(st.lists(st.integers(0, 7), min_size=0, max_size=3))
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if dtype is np.bool_:
+        return rng.integers(0, 2, size=shape).astype(bool)
+    if np.issubdtype(dtype, np.floating):
+        return rng.standard_normal(size=shape).astype(dtype)
+    info = np.iinfo(dtype)
+    return rng.integers(
+        info.min, info.max, size=shape, endpoint=True, dtype=dtype
+    )
+
+
+class TestFrameRoundTrip:
+    @given(header=headers, blob=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_frame_round_trips(self, header, blob):
+        decoded_header, decoded_blob = decode_frame(encode_frame(header, blob))
+        assert decoded_header == header
+        assert decoded_blob == blob
+
+    @given(
+        named=st.dictionaries(
+            st.text(min_size=1, max_size=12), arrays(), min_size=0, max_size=5
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arrays_round_trip_bit_identical(self, named):
+        meta, blob, _ = pack_arrays(named)
+        decoded = unpack_arrays(meta, blob, {})
+        assert set(decoded) == set(named)
+        for slot, original in named.items():
+            assert decoded[slot].dtype == original.dtype
+            assert decoded[slot].shape == original.shape
+            assert np.array_equal(decoded[slot], original, equal_nan=False)
+
+    @given(array=arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_digest_dedup_round_trips(self, array):
+        # The same array twice: the second slot is a bare reference and
+        # must decode identical through the per-frame cache.
+        meta, blob, shipped = pack_arrays({"a": array, "b": array})
+        assert len(shipped) == 1
+        assert meta[1].get("cached") is True
+        decoded = unpack_arrays(meta, blob, {})
+        assert np.array_equal(decoded["a"], decoded["b"])
+
+    @given(
+        named=st.dictionaries(
+            st.text(min_size=1, max_size=8), arrays(), min_size=1, max_size=3
+        ),
+        header=headers,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_step_frames_round_trip(self, named, header):
+        # An op-shaped frame: steps in the header, arrays in the blob.
+        meta, blob, _ = pack_arrays(named)
+        steps = [
+            {"op": "search", "inputs": sorted(named), "outputs": ["out"],
+             "params": {"lo": 0, "hi": 3}},
+        ]
+        frame = encode_frame(
+            dict(header, kind="op", steps=steps, arrays=meta), blob
+        )
+        decoded_header, decoded_blob = decode_frame(frame)
+        assert decoded_header["steps"] == steps
+        decoded = unpack_arrays(decoded_header["arrays"], decoded_blob, {})
+        for slot, original in named.items():
+            assert np.array_equal(decoded[slot], original)
+
+
+class TestMalformedFrames:
+    @given(junk=st.binary(max_size=11))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_prefix_is_typed(self, junk):
+        with pytest.raises(RpcProtocolError):
+            decode_frame(junk)
+
+    @given(header=headers, blob=st.binary(max_size=64), cut=st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_frame_is_typed(self, header, blob, cut):
+        frame = encode_frame(header, blob)
+        truncated = frame[: max(0, len(frame) - cut)]
+        with pytest.raises(RpcProtocolError):
+            decode_frame(truncated)
+
+    def test_bad_magic_is_typed(self):
+        frame = bytearray(encode_frame({"x": 1}))
+        frame[:4] = b"EVIL"
+        with pytest.raises(RpcProtocolError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_oversized_announcement_is_typed(self):
+        import struct
+
+        prefix = struct.pack("!4sII", FRAME_MAGIC, MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(RpcProtocolError, match="oversized"):
+            decode_frame(prefix)
+        prefix = struct.pack("!4sII", FRAME_MAGIC, 0, MAX_BLOB_BYTES + 1)
+        with pytest.raises(RpcProtocolError, match="oversized"):
+            decode_frame(prefix)
+
+    def test_trailing_garbage_is_typed(self):
+        frame = encode_frame({"x": 1}, b"data")
+        with pytest.raises(RpcProtocolError, match="length"):
+            decode_frame(frame + b"extra")
+
+    def test_invalid_json_header_is_typed(self):
+        import struct
+
+        head = b"{not json"
+        frame = struct.pack("!4sII", FRAME_MAGIC, len(head), 0) + head
+        with pytest.raises(RpcProtocolError, match="invalid"):
+            decode_frame(frame)
+
+    def test_non_object_header_is_typed(self):
+        import struct
+
+        head = b"[1, 2]"
+        frame = struct.pack("!4sII", FRAME_MAGIC, len(head), 0) + head
+        with pytest.raises(RpcProtocolError, match="object"):
+            decode_frame(frame)
+
+    def test_unencodable_header_is_typed(self):
+        with pytest.raises(RpcProtocolError, match="unencodable"):
+            encode_frame({"bad": object()})
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(RpcProtocolError, match="object dtype"):
+            pack_arrays({"a": np.array([object()])})
+
+    def test_unknown_digest_reference_is_typed(self):
+        meta = [{"slot": "a", "digest": "feedbead", "cached": True}]
+        with pytest.raises(RpcProtocolError, match="unknown cached digest"):
+            unpack_arrays(meta, b"", {})
+        with pytest.raises(RpcProtocolError, match="unknown cached digest"):
+            unpack_arrays(meta, b"", None)
+
+    def test_out_of_range_payload_is_typed(self):
+        meta, blob, _ = pack_arrays({"a": np.arange(8)})
+        meta[0]["nbytes"] += 8
+        with pytest.raises(RpcProtocolError, match="exceeds blob"):
+            unpack_arrays(meta, blob, {})
+
+    def test_inconsistent_shape_is_typed(self):
+        meta, blob, _ = pack_arrays({"a": np.arange(8)})
+        meta[0]["shape"] = [4]
+        with pytest.raises(RpcProtocolError, match="imply"):
+            unpack_arrays(meta, blob, {})
+
+    def test_bad_dtype_string_is_typed(self):
+        meta, blob, _ = pack_arrays({"a": np.arange(8)})
+        meta[0]["dtype"] = "not-a-dtype"
+        with pytest.raises(RpcProtocolError, match="does not decode"):
+            unpack_arrays(meta, blob, {})

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Generate ``docs/api.md`` from the public docstrings of ``repro.mpc``,
-``repro.core``, ``repro.engines``, and ``repro.streaming``.
+``repro.core``, ``repro.engines``, ``repro.streaming``, and
+``repro.service``.
 
 The page is *derived*, never hand-edited: this script walks both
 packages, collects every public class and function (module ``__all__``
@@ -33,10 +34,16 @@ OUTPUT = REPO_ROOT / "docs" / "api.md"
 
 #: The packages whose public surface is documented (the same ones the
 #: pydocstyle D1 rules gate in CI's docs job).
-PACKAGES = ("repro.mpc", "repro.core", "repro.engines", "repro.streaming")
+PACKAGES = (
+    "repro.mpc",
+    "repro.core",
+    "repro.engines",
+    "repro.streaming",
+    "repro.service",
+)
 
 HEADER = """\
-# API reference — `repro.mpc` + `repro.core` + `repro.engines` + `repro.streaming`
+# API reference — `repro.mpc` + `repro.core` + `repro.engines` + `repro.streaming` + `repro.service`
 
 > **Generated file — do not edit.**  Regenerate with
 > `python tools/gen_api_docs.py`; CI fails if this page drifts from the
@@ -48,8 +55,9 @@ HEADER = """\
 This page lists every public class and function of the MPC simulator
 (`repro.mpc`: engine, execution backends, shared-memory arena, cluster),
 the Theorem 4 pipeline stages (`repro.core`), the pluggable
-connectivity engines (`repro.engines`), and the streaming-update
-subsystem (`repro.streaming`), with their signatures and docstrings
+connectivity engines (`repro.engines`), the streaming-update
+subsystem (`repro.streaming`), and the long-lived connectivity
+service (`repro.service`), with their signatures and docstrings
 verbatim.
 """
 
