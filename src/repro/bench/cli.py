@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         "measures against",
     )
     parser.add_argument(
+        "--csr",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="CSR gather fast path in the engines: --csr (the default) "
+        "runs min-label rounds as indptr-sliced gathers over a frozen "
+        "CSRIndex; --no-csr restores the sort-based exchange path — "
+        "bit-identical labels, rounds, and gated counters either way "
+        "(e24_csr_gather measures the difference)",
+    )
+    parser.add_argument(
         "--no-json", action="store_true", help="skip writing JSON artifacts"
     )
     parser.add_argument("--seed", type=int, default=None, help="override base seed")
@@ -164,6 +174,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 engine=args.engine,
                 workers=args.workers,
                 arena=args.arena,
+                csr=args.csr,
             )
         except Exception as exc:  # noqa: BLE001 - report every failing case
             failures.append((spec.name, exc))

@@ -31,6 +31,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e21_engine_race,
     e22_streaming_updates,
     e23_rpc_service,
+    e24_csr_gather,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "e21_engine_race",
     "e22_streaming_updates",
     "e23_rpc_service",
+    "e24_csr_gather",
 ]

@@ -119,6 +119,9 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         # Optional on load (older artifacts predate the shm arena); null
         # unless --arena/--no-arena was passed.
         "arena": result.arena,
+        # Optional on load (older artifacts predate the CSR fast path);
+        # null unless --csr/--no-csr was passed.
+        "csr": result.csr,
         "git_sha": git_sha() if sha is None else sha,
         "created_unix": time.time(),
         "python": platform.python_version(),

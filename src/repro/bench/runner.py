@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.bench.registry import BenchmarkSpec, get_benchmark
 from repro.engines import engine_names
+from repro.graph.csr import use_csr
 from repro.mpc.backends import backend_names
 from repro.mpc.process_backend import default_arena, default_workers
 from repro.utils.rng import ensure_rng
@@ -68,6 +69,7 @@ class CaseResult:
     engine: str
     workers: "int | None"
     arena: "bool | None"
+    csr: "bool | None"
     params: dict
     headers: "tuple[str, ...]"
     rows: "list[list]"
@@ -102,7 +104,9 @@ class BenchContext:
     is the ``--workers`` pool-size override for the ``process`` backend
     (``None`` means each experiment picks its own default); ``arena`` is
     the ``--arena``/``--no-arena`` toggle for that backend's persistent
-    shared-memory arena (``None`` leaves the default — arena on).
+    shared-memory arena (``None`` leaves the default — arena on);
+    ``csr`` is the ``--csr``/``--no-csr`` toggle for the engines' CSR
+    gather fast path (``None`` leaves the default — CSR on).
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class BenchContext:
         engine: str = "paper",
         workers: "int | None" = None,
         arena: "bool | None" = None,
+        csr: "bool | None" = None,
     ):
         if backend not in backend_names():
             raise ValueError(
@@ -134,6 +139,7 @@ class BenchContext:
         self.engine = engine
         self.workers = None if workers is None else int(workers)
         self.arena = None if arena is None else bool(arena)
+        self.csr = None if csr is None else bool(csr)
         self.params = spec.params_for(suite)
         self.warmup = int(warmup)
         self.repeat = int(repeat)
@@ -224,6 +230,7 @@ def run_case(
     engine: str = "paper",
     workers: "int | None" = None,
     arena: "bool | None" = None,
+    csr: "bool | None" = None,
 ) -> CaseResult:
     """Run one registered benchmark and return its :class:`CaseResult`.
 
@@ -245,6 +252,9 @@ def run_case(
     arena:
         Optional ``process``-backend arena toggle (``--arena`` /
         ``--no-arena``); ``None`` keeps the default (arena on).
+    csr:
+        Optional engine CSR fast-path toggle (``--csr`` / ``--no-csr``);
+        ``None`` keeps the default (CSR on).
 
     Raises
     ------
@@ -265,12 +275,14 @@ def run_case(
         engine=engine,
         workers=workers,
         arena=arena,
+        csr=csr,
     )
     start = time.perf_counter()
-    # Scope the --workers / --arena overrides so every process backend the
-    # experiment constructs by name (including inside the pipeline)
-    # honours them.
-    with default_workers(ctx.workers), default_arena(ctx.arena):
+    # Scope the --workers / --arena / --csr overrides so every backend
+    # and engine the experiment constructs by name (including inside the
+    # pipeline) honours them.
+    with default_workers(ctx.workers), default_arena(ctx.arena), \
+            use_csr(ctx.csr):
         spec.func(ctx)
     total = time.perf_counter() - start
     return CaseResult(
@@ -282,6 +294,7 @@ def run_case(
         engine=ctx.engine,
         workers=ctx.workers,
         arena=ctx.arena,
+        csr=ctx.csr,
         params=dict(ctx.params),
         headers=spec.headers,
         rows=ctx.rows,

@@ -122,7 +122,11 @@ def _erdos_renyi(n, rng, p=0.05):
 
 @register_family("dumbbell")
 def _dumbbell(n, rng, degree=8, bridges=1):
-    return generators.dumbbell_graph(n // 2, degree, bridges=bridges, rng=rng)
+    # Floor like the other composite families: n = 1 must still build
+    # (two one-vertex halves), not crash on a zero-sized half.
+    return generators.dumbbell_graph(
+        max(1, n // 2), degree, bridges=bridges, rng=rng
+    )
 
 
 @register_family("expander_path")

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.components import canonical_labels
+from repro.graph.csr import CSRIndex, csr_enabled
 from repro.mpc.engine import MPCEngine
 from repro.mpc.plan import PlanBuilder, submit_plan
 from repro.utils.validation import check_positive_int
@@ -72,24 +73,54 @@ def broadcast_components(
             labels=labels, tree_edges=np.empty(0, dtype=np.int64), rounds=0
         )
 
-    u, v = edges[:, 0], edges[:, 1]
-    # Both orientations: receiving endpoint, sending endpoint, edge id.
-    recv = np.concatenate([v, u])
-    send = np.concatenate([u, v])
-    eid = np.tile(np.arange(edges.shape[0], dtype=np.int64), 2)
-    # The incidence arrays are loop-invariant; marking them read-only lets
-    # an arena-backed process backend pin them in shared memory once and
-    # lease the same buffers to every broadcast level instead of
-    # re-copying ~4m words per round (see repro.mpc.arena.ShmArena).
-    send.setflags(write=False)
-    recv.setflags(write=False)
     backend = engine.backend if engine is not None else None
+    m = edges.shape[0]
+    use_gather = backend is not None and csr_enabled()
+    if use_gather:
+        # CSR fast path: one frozen index replaces the send/recv/eid
+        # orientation arrays.  Its read-only owning buffers satisfy the
+        # arena pinning contract (one shared-memory upload for the whole
+        # broadcast) and the wire digest cache (shipped once per worker).
+        index = CSRIndex.from_edges(n, edges)
+        backend.note_csr_build()
+        owner = index.slot_owners()
+        half = index.halfedges
+        # Sort-layout incidence position of each CSR slot: half-edge
+        # 2e + 1 sits in row u receiving v -> u, which the orientation
+        # arrays place at position e; half-edge 2e is received at v,
+        # position m + e.  Recovering the positions keeps the recorded
+        # parent edges bit-identical to the sort path's last-write-wins
+        # fancy assignment (= max delivering position per vertex).
+        pos = np.where(half & 1, half >> 1, m + (half >> 1))
+        runs = index.degrees > 0
+        starts = index.indptr[:-1][runs]
+    else:
+        u, v = edges[:, 0], edges[:, 1]
+        # Both orientations: receiving endpoint, sending endpoint, edge id.
+        recv = np.concatenate([v, u])
+        send = np.concatenate([u, v])
+        eid = np.tile(np.arange(m, dtype=np.int64), 2)
+        # The incidence arrays are loop-invariant; marking them read-only
+        # lets an arena-backed process backend pin them in shared memory
+        # once and lease the same buffers to every broadcast level instead
+        # of re-copying ~4m words per round (see repro.mpc.arena.ShmArena).
+        send.setflags(write=False)
+        recv.setflags(write=False)
 
     rounds = 0
     while rounds < max_rounds:
         if stop_after is not None and rounds >= stop_after:
             break
-        if backend is not None:
+        if use_gather:
+            # Same recorded round, gather-shaped: each vertex folds the
+            # minimum over its contiguous CSR slot run instead of a
+            # scatter over the sorted orientation arrays.
+            builder = PlanBuilder("broadcast-level")
+            outs = builder.csr_min_label(labels, index.indptr, index.indices)
+            new_labels, incoming = submit_plan(
+                builder.build(outs), engine=engine
+            )
+        elif backend is not None:
             # One recorded round per level: edge copies read the sending
             # endpoint's label locally and ship it to the receiving home
             # (one exchange barrier on the data plane).
@@ -111,10 +142,18 @@ def broadcast_components(
         # Record a delivering edge for every improved vertex: an incidence
         # whose incoming label equals the new minimum.  The final recording
         # (the wave from the component minimum) forms the BFS tree.
-        delivering = np.flatnonzero(incoming == new_labels[recv])
-        targets = recv[delivering]
-        hit = improved[targets]
-        parent_edge[targets[hit]] = eid[delivering[hit]]
+        if use_gather:
+            cand = np.where(incoming == new_labels[owner], pos, -1)
+            best = np.full(n, -1, dtype=np.int64)
+            if starts.size:
+                best[runs] = np.maximum.reduceat(cand, starts)
+            sel = improved & (best >= 0)
+            parent_edge[sel] = best[sel] % m
+        else:
+            delivering = np.flatnonzero(incoming == new_labels[recv])
+            targets = recv[delivering]
+            hit = improved[targets]
+            parent_edge[targets[hit]] = eid[delivering[hit]]
         labels = new_labels
     else:
         raise RuntimeError(f"broadcast did not stabilise within {max_rounds} rounds")

@@ -249,6 +249,26 @@ def min_label_round_plan(
     return builder.build([merged])
 
 
+def csr_min_label_round_plan(
+    name: str, labels: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> RoundPlan:
+    """One connect-and-shortcut round on a frozen CSR index.
+
+    The gather-shaped twin of :func:`min_label_round_plan`: a
+    ``csr_min_label`` folds each vertex's minimum over its contiguous
+    CSR slot run (no argsort, no scatter), then the same ``search`` +
+    ``elementwise_min`` shortcut.  Labels, rounds, and every gated
+    counter are bit-identical to the sort-based plan — binding the
+    read-only CSR arrays into every round lets arena-backed backends pin
+    them once and the RPC wire dedup them by content digest.
+    """
+    builder = PlanBuilder(name)
+    connected, _incoming = builder.csr_min_label(labels, indptr, indices)
+    shortcut = builder.search(connected, connected)
+    merged = builder.transform("elementwise_min", connected, shortcut)
+    return builder.build([merged])
+
+
 def canonicalize_plan(labels: np.ndarray) -> RoundPlan:
     """Machine-local canonicalisation of a final labelling as a plan.
 

@@ -29,10 +29,12 @@ from repro.core.pipeline import PipelineResult
 from repro.engines.base import (
     ConnectivityEngine,
     canonicalize_plan,
+    csr_min_label_round_plan,
     incidence_arrays,
     min_label_round_plan,
     register_engine,
 )
+from repro.graph.csr import CSRIndex, csr_enabled
 from repro.graph.graph import Graph
 from repro.mpc.plan import PlanBuilder
 
@@ -71,20 +73,44 @@ class LiuTarjanEngine(ConnectivityEngine):
 
         # Place the input on the data plane (capacity check + trace
         # completeness), exactly like the paper pipeline's opening round.
+        # With the CSR fast path on, the same opening plan also builds
+        # the frozen index at scatter time (a machine-local relayout of
+        # data the scatter already moved), so a captured trace replays
+        # the exact arrays every subsequent round binds.
+        use_gather = csr_enabled()
         builder = PlanBuilder("scatter-input")
-        mpc.run_plan(builder.build(builder.scatter(graph.edges)))
+        scattered = builder.scatter(graph.edges)
+        if use_gather:
+            csr_refs = builder.transform("build_csr", graph.edges, n=n)
+            _, indptr, indices, halfedges = mpc.run_plan(
+                builder.build([scattered, *csr_refs])
+            )
+            index = CSRIndex.adopt(n, indptr, indices, halfedges)
+            mpc.backend.note_csr_build()
+        else:
+            mpc.run_plan(builder.build(scattered))
+            send, recv = incidence_arrays(graph.edges)
 
-        send, recv = incidence_arrays(graph.edges)
         max_rounds = 4 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
         iterations = 0
         with mpc.phase("LiuTarjan"):
             for _ in range(max_rounds):
-                plan = min_label_round_plan("lt-round", labels, send, recv)
+                if use_gather:
+                    plan = csr_min_label_round_plan(
+                        "lt-round", labels, index.indptr, index.indices
+                    )
+                else:
+                    plan = min_label_round_plan(
+                        "lt-round", labels, send, recv
+                    )
                 (new_labels,) = mpc.run_plan(plan)
                 new_labels = np.asarray(new_labels)
                 # Work first, charge second: the connect shuffle and the
                 # shortcut search absorb the exchanges the plan made.
-                mpc.charge_shuffle(int(send.size), label="connect")
+                # Both round shapes move the same 2m incidences
+                # (send.size == index.indices.size), so the charge is
+                # identical either way.
+                mpc.charge_shuffle(2 * graph.m, label="connect")
                 mpc.charge_search(n, label="shortcut")
                 iterations += 1
                 if np.array_equal(new_labels, labels):

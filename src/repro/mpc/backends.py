@@ -111,6 +111,22 @@ TRANSPORT_STATS_ZERO = {
     "workers_restarted": 0,
 }
 
+#: Zeroed CSR block, same one-schema contract as
+#: :data:`ARENA_STATS_ZERO`.  ``csr_builds`` counts CSR index
+#: constructions an engine announced with
+#: :meth:`ExecutionBackend.note_csr_build`; ``csr_gathers`` counts
+#: indptr-sliced gather operations executed (``csr_min_label``);
+#: ``argsorts_avoided`` counts the sort-based exchanges those gathers
+#: replaced.  All three only ever *grow* when the fast path engages, so
+#: none carries a gated compare suffix — the model counters
+#: (exchanges, bytes, barriers) stay bit-identical either way and keep
+#: their own gates.
+CSR_STATS_ZERO = {
+    "csr_builds": 0,
+    "csr_gathers": 0,
+    "argsorts_avoided": 0,
+}
+
 
 @dataclass
 class BackendStats:
@@ -136,7 +152,9 @@ class BackendStats:
     special-case the backend.  ``transport`` carries the wire telemetry
     of an :class:`~repro.mpc.rpc.RpcBackend` (frames, payload bytes,
     digest-dedup hits, heartbeats, retries) under the same zero-filled
-    one-schema contract (:data:`TRANSPORT_STATS_ZERO`).
+    one-schema contract (:data:`TRANSPORT_STATS_ZERO`).  ``csr`` carries
+    the CSR fast-path telemetry (index builds, indptr-sliced gathers,
+    argsorts avoided) under the :data:`CSR_STATS_ZERO` schema.
     """
 
     name: str
@@ -152,6 +170,7 @@ class BackendStats:
     arena: "dict | None" = None
     dispatch: "dict | None" = None
     transport: "dict | None" = None
+    csr: "dict | None" = None
 
     def to_json(self) -> dict:
         """Plain-dict form embedded in ``MPCEngine.summary()`` and the
@@ -180,6 +199,7 @@ class BackendStats:
             "transport": dict(
                 TRANSPORT_STATS_ZERO if self.transport is None else self.transport
             ),
+            "csr": dict(CSR_STATS_ZERO if self.csr is None else self.csr),
         }
 
 
@@ -266,6 +286,9 @@ class ExecutionBackend:
         self._op_counts: "dict[str, int]" = {}
         self._exchange_mark = 0
         self.plans_run = 0
+        self.csr_builds = 0
+        self.csr_gathers = 0
+        self.argsorts_avoided = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -277,6 +300,9 @@ class ExecutionBackend:
         self._op_counts.clear()
         self._exchange_mark = 0
         self.plans_run = 0
+        self.csr_builds = 0
+        self.csr_gathers = 0
+        self.argsorts_avoided = 0
 
     def close(self) -> None:
         """Release external resources (processes, files); no-op here.
@@ -303,10 +329,23 @@ class ExecutionBackend:
             name=self.name,
             op_counts=dict(self._op_counts),
             plans=self.plans_run,
+            csr=self._csr_stats(),
         )
 
     def _count_op(self, op: str) -> None:
         self._op_counts[op] = self._op_counts.get(op, 0) + 1
+
+    def note_csr_build(self) -> None:
+        """Record that an engine built a CSR index for this execution."""
+        self.csr_builds += 1
+
+    def _csr_stats(self) -> dict:
+        """The live CSR telemetry block (:data:`CSR_STATS_ZERO` schema)."""
+        return {
+            "csr_builds": self.csr_builds,
+            "csr_gathers": self.csr_gathers,
+            "argsorts_avoided": self.argsorts_avoided,
+        }
 
     # -- round plans ---------------------------------------------------------
 
@@ -354,6 +393,19 @@ class ExecutionBackend:
     def min_label_exchange(self, labels, send, recv):
         """One fused min-label broadcast level; returns
         ``(new_labels, incoming)``.
+        """
+        raise NotImplementedError
+
+    def csr_min_label(self, labels, indptr, indices):
+        """One min-label broadcast level over a pinned CSR index; returns
+        ``(new_labels, incoming)``.
+
+        Semantically identical to :meth:`min_label_exchange` on the
+        incidence arrays the index was built from: CSR slots enumerate
+        the same directed-incidence multiset, so labels, exchange
+        barriers, and payload bytes match bit for bit — only the kernel
+        changes (contiguous ``reduceat`` folds over indptr-sliced
+        neighbour runs instead of scattered ``minimum.at``).
         """
         raise NotImplementedError
 
@@ -406,6 +458,23 @@ class LocalBackend(ExecutionBackend):
         incoming = labels[_data(send)]
         new_labels = labels.copy()
         np.minimum.at(new_labels, _data(recv), incoming)
+        return new_labels, incoming
+
+    def csr_min_label(self, labels, indptr, indices):
+        """One min-label level as indptr-sliced gathers (no partitioning).
+
+        Returns the same ``(new_labels, incoming)`` the sort-based
+        :meth:`min_label_exchange` produces for the incidence arrays the
+        index enumerates — ``incoming`` is in CSR slot order, the order
+        the engine-side fast path addresses it in.
+        """
+        self._count_op("csr_min_label")
+        labels = _data(labels)
+        indptr = _data(indptr)
+        indices = _data(indices)
+        new_labels, incoming = _csr_min_label_kernel(labels, indptr, indices)
+        self.csr_gathers += 1
+        self.argsorts_avoided += 1
         return new_labels, incoming
 
 
@@ -524,6 +593,7 @@ class ShardedBackend(ExecutionBackend):
             bytes_exchanged=self.bytes_exchanged,
             op_counts=dict(self._op_counts),
             plans=self.plans_run,
+            csr=self._csr_stats(),
         )
 
     # -- compute kernels (overridable; accounting stays in the public ops) ----
@@ -565,6 +635,15 @@ class ShardedBackend(ExecutionBackend):
         new_labels = labels.copy()
         np.minimum.at(new_labels, recv, incoming)
         return new_labels, incoming
+
+    def _kernel_csr_min_label(
+        self, labels: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ):
+        """CSR min-label kernel: ``(new_labels, incoming)`` via contiguous
+        ``minimum.reduceat`` folds over the indptr-sliced neighbour runs
+        (``incoming = labels[indices]`` in CSR slot order).
+        """
+        return _csr_min_label_kernel(labels, indptr, indices)
 
     # -- operations ----------------------------------------------------------
 
@@ -664,6 +743,65 @@ class ShardedBackend(ExecutionBackend):
             crossing = int(np.count_nonzero(send // s != recv // s))
             self._exchange(shards, crossing * incoming.itemsize)
         return new_labels, incoming
+
+    def csr_min_label(self, labels, indptr, indices):
+        """One min-label broadcast level over a pinned CSR index.
+
+        Accounting is identical to :meth:`min_label_exchange` on the
+        incidence arrays the index enumerates: CSR slot ``p`` holds the
+        incidence *sending* from ``indices[p]`` to the slot's owning row
+        — the same directed-incidence multiset as the concatenated
+        orientation arrays — so the capacity check
+        (``n + 2m`` words), the barrier count, and the crossing payload
+        (incidences whose endpoints live on different shards) match the
+        sort-based level bit for bit.  Only the kernel differs: a
+        contiguous gather plus ``reduceat`` folds instead of argsorted
+        scatter."""
+        self._count_op("csr_min_label")
+        labels = _data(labels)
+        indptr = _data(indptr)
+        indices = _data(indices)
+        # Capacity check first (see search()).
+        shards = self.ensure_capacity(
+            int(labels.shape[0]) + int(indices.shape[0])
+        )
+        new_labels, incoming = self._kernel_csr_min_label(
+            labels, indptr, indices
+        )
+        if shards > 1:
+            s = self._s
+            owners = np.repeat(
+                np.arange(indptr.shape[0] - 1, dtype=np.int64),
+                np.diff(indptr),
+            )
+            crossing = int(np.count_nonzero(indices // s != owners // s))
+            self._exchange(shards, crossing * incoming.itemsize)
+        self.csr_gathers += 1
+        self.argsorts_avoided += 1
+        return new_labels, incoming
+
+
+def _csr_min_label_kernel(
+    labels: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+):
+    """Shared CSR min-label compute: ``(new_labels, incoming)``.
+
+    ``incoming = labels[indices]`` (CSR slot order); each vertex's new
+    label is the minimum of its old label and the labels arriving on its
+    neighbour run.  Runs are contiguous, so one ``minimum.reduceat``
+    over the non-empty run starts folds every row — no scatter, no
+    argsort.  Excluding empty runs first means consecutive ``starts``
+    delimit exactly the non-empty runs and every start is in range.
+    """
+    incoming = labels[indices]
+    new_labels = labels.copy()
+    nz = np.diff(indptr) > 0
+    starts = indptr[:-1][nz]
+    if starts.size:
+        new_labels[nz] = np.minimum(
+            new_labels[nz], np.minimum.reduceat(incoming, starts)
+        )
+    return new_labels, incoming
 
 
 def _grouped_reduce(keys: np.ndarray, values: np.ndarray, op: str):

@@ -64,6 +64,7 @@ BACKEND_OPS = {
     "search": 1,
     "reduce_by_key": 2,
     "min_label_exchange": 2,
+    "csr_min_label": 2,
 }
 
 #: Registry of named machine-local transforms (see
@@ -283,6 +284,19 @@ class PlanBuilder:
             "min_label_exchange", (labels, send, recv), {}, 2, "labels"
         )
 
+    def csr_min_label(self, labels, indptr, indices):
+        """Record one CSR-gather min-label level; returns
+        ``(new_labels, incoming)``.
+
+        The indptr-sliced counterpart of :meth:`min_label_exchange`:
+        binding the frozen CSR arrays keeps their identity, so an
+        arena-backed backend pins them across every level of a broadcast
+        loop and the RPC backend ships them once per content digest.
+        """
+        return self._add(
+            "csr_min_label", (labels, indptr, indices), {}, 2, "labels"
+        )
+
     # -- transforms ----------------------------------------------------------
 
     def transform(self, name: str, *inputs, **params):
@@ -363,6 +377,21 @@ def _t_canonical_labels(labels: np.ndarray) -> np.ndarray:
     from repro.graph.components import canonical_labels
 
     return canonical_labels(labels)
+
+
+@register_transform("build_csr", n_out=3)
+def _t_build_csr(edges: np.ndarray, *, n: int):
+    """Build the frozen CSR triple ``(indptr, indices, halfedges)``.
+
+    Machine-local by the model's accounting: the scatter step that
+    placed the edge list already paid the data movement, and the CSR
+    arrays are a relayout of data each machine holds.  Registered so a
+    replayed trace rebuilds the index with exactly the deterministic
+    layout the capture used.
+    """
+    from repro.graph.csr import build_csr_arrays
+
+    return build_csr_arrays(edges, int(n))
 
 
 # ---------------------------------------------------------------------------
@@ -789,15 +818,24 @@ def _smoke(argv: "list[str] | None" = None) -> int:  # pragma: no cover
         help="connectivity engine whose plan stream is captured "
         "(any repro.engines name; default: paper)",
     )
+    parser.add_argument(
+        "--csr",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force the CSR fast path on/off for capture and replay "
+        "(default: the engine default)",
+    )
     args = parser.parse_args(argv)
 
     import repro
     from repro.bench.workloads import Workload
     from repro.engines import get_engine
+    from repro.graph.csr import use_csr
     from repro.mpc import MPCEngine, make_backend
 
     graph = Workload("permutation_regular", args.n, {"degree": 6}).build(7)
     with contextlib.ExitStack() as stack:
+        stack.enter_context(use_csr(args.csr))
         if args.out is not None:
             out = args.out
         else:

@@ -345,12 +345,36 @@ def _op_min_fold(payload: dict, opened: list):
     return None
 
 
+def _op_csr_min_fold(payload: dict, opened: list):
+    labels = _attach(payload["labels"], opened)
+    indptr = _attach(payload["indptr"], opened)
+    indices = _attach(payload["indices"], opened)
+    out_labels = _attach(payload["out_labels"], opened)
+    lo, hi = payload["block"]
+    out_labels[lo:hi] = labels[lo:hi]
+    # A worker's label block [lo, hi) owns the contiguous CSR slot range
+    # indptr[lo]:indptr[hi] — no cross-worker scan is needed, unlike the
+    # sort-based fold, which is the point of the gather layout.
+    block_ptr = indptr[lo : hi + 1]
+    base = block_ptr[0]
+    nz = np.diff(block_ptr) > 0
+    if not nz.any():
+        return None
+    incoming = labels[indices[base : block_ptr[-1]]]
+    starts = (block_ptr[:-1] - base)[nz]
+    mins = np.minimum.reduceat(incoming, starts)
+    sub = out_labels[lo:hi]
+    sub[nz] = np.minimum(sub[nz], mins)
+    return None
+
+
 _WORKER_OPS = {
     "search": _op_search,
     "sort": _op_sort,
     "reduce": _op_reduce,
     "gather_incoming": _op_gather_incoming,
     "min_fold": _op_min_fold,
+    "csr_min_fold": _op_csr_min_fold,
 }
 
 
@@ -951,6 +975,57 @@ class ProcessBackend(ShardedBackend):
                     steps.append(
                         ("min_fold", {
                             "labels": labels_d, "send": send_d, "recv": recv_d,
+                            "out_labels": out_labels_d,
+                            "block": label_blocks[w],
+                        })
+                    )
+                plans.append(steps)
+            self._dispatch(plans)
+            return out_labels.copy(), out_incoming.copy()
+
+    def _kernel_csr_min_label(
+        self, labels: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ):
+        n = int(labels.shape[0]) + int(indices.shape[0])
+        if (
+            not self._use_pool(n)
+            or labels.ndim != 1
+            or indices.ndim != 1
+            or not self._shm_safe(labels)
+        ):
+            return super()._kernel_csr_min_label(labels, indptr, indices)
+        with self._op_buffers() as buf:
+            # The CSR arrays arrive read-only and owning (the CSRIndex
+            # zero-copy contract), so ``share`` pins them: one upload,
+            # re-leased for every level of the broadcast loop.
+            labels_d = buf.share(labels)
+            indptr_d = buf.share(indptr)
+            indices_d = buf.share(indices)
+            out_incoming_d, out_incoming = buf.alloc(
+                indices.shape, labels.dtype
+            )
+            out_labels_d, out_labels = buf.alloc(labels.shape, labels.dtype)
+            pos_blocks = self._blocks(int(indices.shape[0]))
+            label_blocks = self._blocks(int(labels.shape[0]))
+            # Fused plan, mirroring min_label_exchange: gather + fold per
+            # worker in one message.  The fold reads the slot range its
+            # label block owns via indptr — contiguous, no scan.
+            plans = []
+            for w in range(max(len(pos_blocks), len(label_blocks))):
+                steps = []
+                if w < len(pos_blocks):
+                    steps.append(
+                        ("gather_incoming", {
+                            "labels": labels_d, "send": indices_d,
+                            "out_incoming": out_incoming_d,
+                            "block": pos_blocks[w],
+                        })
+                    )
+                if w < len(label_blocks):
+                    steps.append(
+                        ("csr_min_fold", {
+                            "labels": labels_d, "indptr": indptr_d,
+                            "indices": indices_d,
                             "out_labels": out_labels_d,
                             "block": label_blocks[w],
                         })

@@ -470,6 +470,27 @@ def _k_min_fold(env: dict, step: dict) -> None:
     env[step["outputs"][0]] = out
 
 
+def _k_csr_min_fold(env: dict, step: dict) -> None:
+    """Wire kernel: CSR min-fold for a label block.
+
+    The block's vertices own the contiguous CSR slot range
+    ``indptr[lo]:indptr[hi]``, so the fold reads exactly its own slots —
+    an indptr-sliced gather plus ``minimum.reduceat`` over the non-empty
+    runs, with no scan of the full incidence arrays.
+    """
+    labels, indptr, indices = (env[name] for name in step["inputs"])
+    lo, hi = step["params"]["lo"], step["params"]["hi"]
+    out = labels[lo:hi].copy()
+    block_ptr = indptr[lo : hi + 1]
+    base = block_ptr[0]
+    nz = np.diff(block_ptr) > 0
+    if nz.any():
+        incoming = labels[indices[base : block_ptr[-1]]]
+        starts = (block_ptr[:-1] - base)[nz]
+        out[nz] = np.minimum(out[nz], np.minimum.reduceat(incoming, starts))
+    env[step["outputs"][0]] = out
+
+
 #: Step kernels a worker executes (op name → kernel).
 WIRE_KERNELS = {
     "search": _k_search,
@@ -477,6 +498,7 @@ WIRE_KERNELS = {
     "reduce": _k_reduce,
     "gather_incoming": _k_gather_incoming,
     "min_fold": _k_min_fold,
+    "csr_min_fold": _k_csr_min_fold,
 }
 
 
@@ -1433,6 +1455,74 @@ class RpcBackend(ShardedBackend):
             )
         replies = self._ensure_pool().barrier(self._pad(payloads))
         incoming = np.empty(send.shape, dtype=labels.dtype)
+        new_labels = np.empty_like(labels)
+        for w, reply in enumerate(replies):
+            if w < len(pos_blocks):
+                lo, hi = pos_blocks[w]
+                incoming[lo:hi] = reply["incoming"]
+            if w < len(label_blocks):
+                lo, hi = label_blocks[w]
+                new_labels[lo:hi] = reply["folded"]
+        return new_labels, incoming
+
+    def _kernel_csr_min_label(
+        self, labels: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ):
+        n = int(labels.shape[0]) + int(indices.shape[0])
+        if (
+            not self._use_wire(n)
+            or labels.ndim != 1
+            or indices.ndim != 1
+            or not self._wire_safe(labels)
+        ):
+            return super()._kernel_csr_min_label(labels, indptr, indices)
+        pos_blocks = self._blocks(int(indices.shape[0]))
+        label_blocks = self._blocks(int(labels.shape[0]))
+        payloads = []
+        for w in range(max(len(pos_blocks), len(label_blocks))):
+            steps = []
+            returns = []
+            if w < len(pos_blocks):
+                lo, hi = pos_blocks[w]
+                steps.append(
+                    {
+                        # The generic gather reads its inputs
+                        # positionally, so the CSR heads ride in the
+                        # "send" slot unchanged.
+                        "op": "gather_incoming",
+                        "inputs": ["labels", "indices"],
+                        "outputs": ["incoming"],
+                        "params": {"lo": lo, "hi": hi},
+                    }
+                )
+                returns.append("incoming")
+            if w < len(label_blocks):
+                lo, hi = label_blocks[w]
+                steps.append(
+                    {
+                        "op": "csr_min_fold",
+                        "inputs": ["labels", "indptr", "indices"],
+                        "outputs": ["folded"],
+                        "params": {"lo": lo, "hi": hi},
+                    }
+                )
+                returns.append("folded")
+            payloads.append(
+                {
+                    "steps": steps,
+                    # The frozen CSR arrays hash to the same content
+                    # digest every level, so after the first round they
+                    # cross the wire as bare references per worker.
+                    "arrays": {
+                        "labels": labels,
+                        "indptr": indptr,
+                        "indices": indices,
+                    },
+                    "returns": returns,
+                }
+            )
+        replies = self._ensure_pool().barrier(self._pad(payloads))
+        incoming = np.empty(indices.shape, dtype=labels.dtype)
         new_labels = np.empty_like(labels)
         for w, reply in enumerate(replies):
             if w < len(pos_blocks):

@@ -31,7 +31,7 @@ from repro.baselines import (
     shiloach_vishkin_components,
 )
 from repro.bench.workloads import Workload, family_names
-from repro.graph import canonical_labels, components_agree
+from repro.graph import canonical_labels, components_agree, use_csr
 from repro.graph.union_find import DisjointSetUnion
 from repro.mpc import MPCEngine, ProcessBackend, RpcBackend, ShardedBackend
 
@@ -124,6 +124,60 @@ class TestDifferential:
         graph = build(family)
         truth = union_find_truth(graph)
         assert components_agree(BASELINES[baseline](graph), truth)
+
+
+# ---------------------------------------------------------------------------
+# CSR axis: the gather fast path on vs off, per family, per backend
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", family_names())
+class TestCSRDifferential:
+    """The CSR gather fast path must be invisible everywhere but the
+    ``csr`` counters: labels, rounds, exchanges, and byte counts are
+    bit-identical to the sort-based exchange path on every family and
+    every backend."""
+
+    def _sharded(self, graph, enabled: bool):
+        backend = ShardedBackend()
+        with use_csr(enabled):
+            result = repro.mpc_connected_components(
+                graph, GAP_BOUND, config=CONFIG, rng=SEED, backend=backend
+            )
+        return result, backend.stats()
+
+    def test_sharded_counters_identical(self, family):
+        graph = build(family)
+        off, off_stats = self._sharded(graph, False)
+        on, on_stats = self._sharded(graph, True)
+        assert components_agree(off.labels, union_find_truth(graph))
+        assert np.array_equal(on.labels, off.labels)
+        assert on.rounds == off.rounds
+        assert (
+            on_stats.exchanges,
+            on_stats.bytes_exchanged,
+            on_stats.shard_count,
+            on_stats.peak_shard_load,
+        ) == (
+            off_stats.exchanges,
+            off_stats.bytes_exchanged,
+            off_stats.shard_count,
+            off_stats.peak_shard_load,
+        )
+        # Only the csr counters may differ: the fast path engages when
+        # on and never when off.
+        assert on_stats.csr["csr_builds"] > 0
+        assert on_stats.csr["csr_gathers"] > 0
+        assert all(v == 0 for v in off_stats.csr.values())
+
+    def test_pool_backends_match_sort_reference(self, family):
+        graph = build(family)
+        off, _ = self._sharded(graph, False)
+        with use_csr(True):
+            for backend in ("local", "process", "process-noarena", "rpc"):
+                result = run_pipeline(graph, backend)
+                assert np.array_equal(result.labels, off.labels), backend
+                assert result.rounds == off.rounds, backend
 
 
 # ---------------------------------------------------------------------------

@@ -169,6 +169,54 @@ class TestWorkloads:
         assert labels.max() >= 4
 
 
+class TestDegenerateSizes:
+    """Boundary sizes every family must survive: the CSR differential
+    harness (and the sketch layer before it) feeds generators far below
+    benchmark scale, where isolated vertices, self-loops, and parallel
+    edges dominate the edge list."""
+
+    def test_dumbbell_workload_of_one_builds(self):
+        # Regression: Workload("dumbbell", 1) used to crash with
+        # "half must be >= 1" — the only family without a size floor.
+        from repro.bench.workloads import Workload
+
+        for n in (1, 2, 3):
+            g = Workload("dumbbell", n).build(0)
+            assert component_count(g) == 1
+
+    def test_every_family_builds_at_tiny_sizes(self):
+        from repro.bench.workloads import Workload, family_names
+
+        for family in family_names():
+            for n in (1, 2, 3):
+                g = Workload(family, n).build(3)
+                assert g.n >= 1
+                assert int(g.degrees.sum()) == 2 * g.m, (family, n)
+
+    def test_single_vertex_regular_graphs_are_self_loops(self):
+        g = permutation_regular_graph(1, 6, rng=0)
+        assert g.n == 1 and g.m == 3
+        assert g.self_loop_count == 3
+        assert component_count(g) == 1
+
+    def test_planted_part_of_one_stays_one_component(self):
+        g, labels = planted_expander_components([1], 4, rng=0)
+        assert g.n == 1
+        assert labels.tolist() == [0]
+        assert component_count(g) == 1
+
+    def test_dumbbell_half_of_one_connects_by_parallel_bridges(self):
+        g = dumbbell_graph(1, 4, bridges=3, rng=0)
+        assert g.n == 2
+        assert g.parallel_edge_count >= 2  # the extra bridges
+        assert component_count(g) == 1
+
+    def test_isolated_vertices_survive_components(self):
+        g = empty_graph(5)
+        labels = connected_components(g)
+        assert labels.tolist() == [0, 1, 2, 3, 4]
+
+
 class TestReproducibility:
     @pytest.mark.parametrize(
         "factory",

@@ -200,6 +200,47 @@ class TestDisjointUnion:
         assert offsets.tolist() == [0]
 
 
+class TestDegenerateShapes:
+    """Zero-sized and all-degenerate inputs the executor stack now leans
+    on (CSR builds run on every graph the pipeline touches)."""
+
+    def test_zero_vertex_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0 and g.m == 0 and g.max_degree == 0
+        assert g.twin_slot.size == 0
+        assert g.adjacency_matrix().shape == (0, 0)
+
+    def test_subgraph_of_nothing(self):
+        g = Graph(3, [(0, 1)])
+        sub, verts = g.subgraph(np.array([], dtype=np.int64))
+        assert sub.n == 0 and sub.m == 0
+        assert verts.size == 0
+
+    def test_relabel_everything_to_one_vertex(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        contracted = g.relabel(np.zeros(3, dtype=np.int64), new_n=1)
+        assert contracted.n == 1
+        assert contracted.m == 2
+        assert contracted.self_loop_count == 2
+
+    def test_simplify_pure_self_loop_graph(self):
+        g = Graph(2, [(0, 0), (1, 1)])
+        s = g.simplify()
+        assert s.m == 0 and s.n == 2
+
+    def test_self_loop_port_neighbors(self):
+        g = Graph(1, [(0, 0)])
+        assert g.degree(0) == 2
+        assert [g.port_neighbor(0, p) for p in range(2)] == [0, 0]
+
+    def test_subgraph_keeps_loops_and_multiplicity(self):
+        g = Graph(4, [(1, 1), (1, 2), (1, 2)])
+        sub, _ = g.subgraph(np.array([1, 2]))
+        assert sub.m == 3
+        assert sub.self_loop_count == 1
+        assert sub.parallel_edge_count == 1
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     n=st.integers(1, 30),

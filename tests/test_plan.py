@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 import repro
 from repro.bench.workloads import Workload
 from repro.core.grow import contract_batch, contract_plan
+from repro.graph import use_csr
 from repro.mpc import (
     LocalBackend,
     MPCEngine,
@@ -495,3 +496,92 @@ class TestTraceRoundTrip:
         replayed = replay(path, backend="sharded")
         assert replayed.ok
         assert replayed.stats.exchanges > 0
+
+
+# ---------------------------------------------------------------------------
+# Trace capture + replay: the CSR plan steps
+# ---------------------------------------------------------------------------
+
+
+def trace_ops(path) -> set:
+    doc = load_trace(path)
+    return {
+        s["op"] for entry in doc["plans"] for s in entry["steps"]
+    }
+
+
+class TestCSRTraceReplay:
+    """CSR plan steps must survive the capture → replay round trip on
+    every backend: the frozen indptr/indices arrays travel as ordinary
+    plan bindings, so a replay reproduces the gather rounds (outputs and
+    gated counters) bit for bit."""
+
+    def test_csr_capture_replays_on_all_backends(self, tmp_path):
+        with use_csr(True):
+            path, result, captured, _ = capture_pipeline(
+                tmp_path, ShardedBackend()
+            )
+        assert "csr_min_label" in trace_ops(path)
+        for name in ("sharded", "local", "process", "rpc"):
+            replayed = replay(path, backend=name)
+            assert replayed.ok, name
+            if name != "local":
+                # Enforced backends adopt the trace's machine memory, so
+                # the gated counters reproduce exactly.
+                assert replayed.stats.exchanges == captured.exchanges
+                assert (replayed.stats.bytes_exchanged
+                        == captured.bytes_exchanged)
+
+    def test_sort_capture_is_csr_free_and_equivalent(self, tmp_path):
+        with use_csr(True):
+            on_path, on_result, *_ = capture_pipeline(
+                tmp_path / "on", ShardedBackend()
+            )
+        with use_csr(False):
+            off_path, off_result, *_ = capture_pipeline(
+                tmp_path / "off", ShardedBackend()
+            )
+        off_ops = trace_ops(off_path)
+        assert "csr_min_label" not in off_ops
+        assert "min_label_exchange" in off_ops
+        assert np.array_equal(on_result.labels, off_result.labels)
+        assert on_result.rounds == off_result.rounds
+        # The replay toggle is irrelevant: a trace replays the steps it
+        # recorded, whichever path captured them.
+        with use_csr(False):
+            assert replay(on_path, backend="sharded").ok
+        with use_csr(True):
+            assert replay(off_path, backend="sharded").ok
+
+    def test_liu_tarjan_build_csr_round_trips(self, tmp_path):
+        from repro.engines import get_engine
+
+        graph = Workload("permutation_regular", 256, {"degree": 6}).build(
+            SEED
+        )
+        path = tmp_path / "liu-tarjan.json"
+        with use_csr(True):
+            with MPCEngine.for_delta(
+                graph.n + graph.m, CONFIG.delta,
+                backend=ShardedBackend(), trace=str(path),
+            ) as mpc:
+                result = get_engine("liu_tarjan").run(
+                    graph, 0.1, config=CONFIG, rng=SEED, mpc=mpc
+                )
+                captured = mpc.backend.stats()
+        doc = load_trace(path)
+        transforms = {
+            s["params"].get("name")
+            for entry in doc["plans"]
+            for s in entry["steps"]
+            if s["op"] == "transform"
+        }
+        # The CSR build happens *inside* the captured plan stream, so a
+        # replay reconstructs the exact arrays the gathers consumed.
+        assert "build_csr" in transforms
+        assert "csr_min_label" in trace_ops(path)
+        assert result.labels.shape == (graph.n,)
+        for name in ("sharded", "process"):
+            replayed = replay(path, backend=name)
+            assert replayed.ok, name
+            assert replayed.stats.exchanges == captured.exchanges
