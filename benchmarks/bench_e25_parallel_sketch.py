@@ -1,0 +1,12 @@
+"""E25 shim — the experiment lives in ``repro.bench.experiments``.
+
+CLI equivalent: ``python -m repro.bench --suite full --filter e25``.
+Part A shards on an explicit ``ShardedBackend`` and Part B/C construct
+their own ``process``/``rpc`` ingest backends, so the case ignores
+``BENCH_BACKEND``; set ``BENCH_WORKERS=N`` to resize the pools
+(default 2).  The warm-pool speedup gate arms only on multi-CPU hosts.
+"""
+
+
+def test_e25_parallel_sketch(bench_case):
+    bench_case("e25_parallel_sketch")

@@ -107,6 +107,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(e24_csr_gather measures the difference)",
     )
     parser.add_argument(
+        "--sketch-shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard-count override for streaming experiments that maintain "
+        "a sharded AGM sketch (e25_parallel_sketch): edge updates are "
+        "range-partitioned by owner vertex into K per-shard partials, "
+        "updated through the selected backend's ingest seam and merged by "
+        "linearity only at decode time (default: each experiment picks "
+        "its own sweep)",
+    )
+    parser.add_argument(
         "--no-json", action="store_true", help="skip writing JSON artifacts"
     )
     parser.add_argument("--seed", type=int, default=None, help="override base seed")
@@ -175,6 +187,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 workers=args.workers,
                 arena=args.arena,
                 csr=args.csr,
+                sketch_shards=args.sketch_shards,
             )
         except Exception as exc:  # noqa: BLE001 - report every failing case
             failures.append((spec.name, exc))

@@ -32,6 +32,7 @@ from repro.bench.experiments import (  # noqa: F401  (imported for registration)
     e22_streaming_updates,
     e23_rpc_service,
     e24_csr_gather,
+    e25_parallel_sketch,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "e22_streaming_updates",
     "e23_rpc_service",
     "e24_csr_gather",
+    "e25_parallel_sketch",
 ]

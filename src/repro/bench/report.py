@@ -122,6 +122,9 @@ def case_to_json(result: CaseResult, *, sha: "str | None" = None) -> dict:
         # Optional on load (older artifacts predate the CSR fast path);
         # null unless --csr/--no-csr was passed.
         "csr": result.csr,
+        # Optional on load (older artifacts predate sharded sketches);
+        # null unless --sketch-shards was passed.
+        "sketch_shards": result.sketch_shards,
         "git_sha": git_sha() if sha is None else sha,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -227,7 +230,11 @@ def compare_cases(
     # plan, not one per op) cannot silently unfuse; "frames"/"wire_bytes"
     # gate the RPC transport (op frames shipped and their serialized
     # sizes — deterministic per plan, unlike heartbeats/retries) so a
-    # codec or dedup change that inflates wire traffic fails --compare.
+    # codec or dedup change that inflates wire traffic fails --compare;
+    # "words" gates sketch memory footprints (partial_words /
+    # sketch_words — "words_per_vertex" stays ungated by its suffix) so
+    # a sharding change that inflates resident sketch state fails
+    # --compare.
     counter_suffixes = (
         "rounds",
         "machines",
@@ -240,6 +247,7 @@ def compare_cases(
         "barriers",
         "frames",
         "wire_bytes",
+        "words",
     )
 
     regressions, improvements, unchanged = [], [], []

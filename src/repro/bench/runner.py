@@ -70,6 +70,7 @@ class CaseResult:
     workers: "int | None"
     arena: "bool | None"
     csr: "bool | None"
+    sketch_shards: "int | None"
     params: dict
     headers: "tuple[str, ...]"
     rows: "list[list]"
@@ -106,7 +107,10 @@ class BenchContext:
     the ``--arena``/``--no-arena`` toggle for that backend's persistent
     shared-memory arena (``None`` leaves the default — arena on);
     ``csr`` is the ``--csr``/``--no-csr`` toggle for the engines' CSR
-    gather fast path (``None`` leaves the default — CSR on).
+    gather fast path (``None`` leaves the default — CSR on);
+    ``sketch_shards`` is the ``--sketch-shards`` override for streaming
+    experiments that maintain a sharded AGM sketch (``None`` means each
+    experiment picks its own sweep of shard counts).
     """
 
     def __init__(
@@ -121,6 +125,7 @@ class BenchContext:
         workers: "int | None" = None,
         arena: "bool | None" = None,
         csr: "bool | None" = None,
+        sketch_shards: "int | None" = None,
     ):
         if backend not in backend_names():
             raise ValueError(
@@ -132,6 +137,8 @@ class BenchContext:
             )
         if workers is not None and int(workers) < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if sketch_shards is not None and int(sketch_shards) < 1:
+            raise ValueError(f"sketch_shards must be >= 1, got {sketch_shards}")
         self.spec = spec
         self.suite = suite
         self.seed = int(seed)
@@ -140,6 +147,7 @@ class BenchContext:
         self.workers = None if workers is None else int(workers)
         self.arena = None if arena is None else bool(arena)
         self.csr = None if csr is None else bool(csr)
+        self.sketch_shards = None if sketch_shards is None else int(sketch_shards)
         self.params = spec.params_for(suite)
         self.warmup = int(warmup)
         self.repeat = int(repeat)
@@ -231,6 +239,7 @@ def run_case(
     workers: "int | None" = None,
     arena: "bool | None" = None,
     csr: "bool | None" = None,
+    sketch_shards: "int | None" = None,
 ) -> CaseResult:
     """Run one registered benchmark and return its :class:`CaseResult`.
 
@@ -255,6 +264,10 @@ def run_case(
     csr:
         Optional engine CSR fast-path toggle (``--csr`` / ``--no-csr``);
         ``None`` keeps the default (CSR on).
+    sketch_shards:
+        Optional sharded-sketch shard-count override for streaming
+        experiments (the ``--sketch-shards`` flag); ``None`` lets each
+        experiment pick its own sweep.
 
     Raises
     ------
@@ -276,6 +289,7 @@ def run_case(
         workers=workers,
         arena=arena,
         csr=csr,
+        sketch_shards=sketch_shards,
     )
     start = time.perf_counter()
     # Scope the --workers / --arena / --csr overrides so every backend
@@ -295,6 +309,7 @@ def run_case(
         workers=ctx.workers,
         arena=ctx.arena,
         csr=ctx.csr,
+        sketch_shards=ctx.sketch_shards,
         params=dict(ctx.params),
         headers=spec.headers,
         rows=ctx.rows,

@@ -409,6 +409,47 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    # -- sketch ingest seam ---------------------------------------------------
+    #
+    # The streaming layer's sharded AGM sketch routes its update batches
+    # through these three ops (see ``repro.sketch.sharded``).  The store
+    # argument is a ``SketchPartialStore``: shard partials plus the
+    # plain-array kernel parameters.  The defaults run the shared
+    # in-process kernel; subclasses override the ``_kernel_*`` hooks to
+    # move the same scatter into pool workers (process) or keep partials
+    # resident across the wire (rpc) — accounting stays in the public ops
+    # so every backend reports identical op/exchange counters.
+
+    def sketch_update(self, store, edges, weights) -> int:
+        """Fan one signed edge-update batch out to the sketch shard
+        partials; returns the number of incidence updates applied."""
+        self._count_op("sketch_update")
+        return self._kernel_sketch_update(store, edges, weights)
+
+    def sketch_collect(self, store) -> "list[np.ndarray]":
+        """Gather the shard partial arrays to the coordinator (decode-time
+        merge reads them once)."""
+        self._count_op("sketch_collect")
+        return self._kernel_sketch_collect(store)
+
+    def sketch_release(self, store) -> None:
+        """Drop backend-held partial state for ``store`` (best effort;
+        in-process stores hold nothing backend-side)."""
+        self._count_op("sketch_release")
+        self._kernel_sketch_release(store)
+
+    def _kernel_sketch_update(self, store, edges, weights) -> int:
+        """Sketch-update kernel: the shared per-shard scatter, in-process."""
+        return store.apply_serial(edges, weights)
+
+    def _kernel_sketch_collect(self, store) -> "list[np.ndarray]":
+        """Sketch-collect kernel: read the locally held partial arrays."""
+        return store.local_partial_data()
+
+    def _kernel_sketch_release(self, store) -> None:
+        """Sketch-release kernel: nothing held backend-side by default."""
+        return None
+
 
 class LocalBackend(ExecutionBackend):
     """Accounting-only backend: plain vectorised numpy, no caps.
@@ -779,6 +820,37 @@ class ShardedBackend(ExecutionBackend):
         self.csr_gathers += 1
         self.argsorts_avoided += 1
         return new_labels, incoming
+
+    def sketch_update(self, store, edges, weights) -> int:
+        """Broadcast one update batch to the sketch shard partials.
+
+        Capacity is charged on the batch in flight (the edge endpoints
+        plus their weights — the partials themselves are standing state,
+        not a message); the broadcast to ``store.shard_count`` owner
+        ranges is one barrier when more than one shard listens.  Compute
+        delegates to :meth:`_kernel_sketch_update`, so the process/rpc
+        subclasses report identical counters by construction.  A backend
+        constructed without ``shard_memory`` skips the capacity check
+        (standing ingest services have no engine to attach one).
+        """
+        self._count_op("sketch_update")
+        edges = _data(edges)
+        weights = _data(weights)
+        if self.shard_memory is not None:
+            self.ensure_capacity(int(edges.size) + int(weights.size))
+        applied = self._kernel_sketch_update(store, edges, weights)
+        self._exchange(store.shard_count, int(edges.nbytes + weights.nbytes))
+        return applied
+
+    def sketch_collect(self, store) -> "list[np.ndarray]":
+        """Gather the shard partials to the coordinator for a decode-time
+        merge — one barrier carrying the partial payloads."""
+        self._count_op("sketch_collect")
+        parts = self._kernel_sketch_collect(store)
+        self._exchange(
+            store.shard_count, int(sum(int(p.nbytes) for p in parts))
+        )
+        return parts
 
 
 def _csr_min_label_kernel(

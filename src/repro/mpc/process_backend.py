@@ -368,6 +368,33 @@ def _op_csr_min_fold(payload: dict, opened: list):
     return None
 
 
+def _op_sketch_update(payload: dict, opened: list):
+    # Imported lazily: the sketch layer sits above the backend stack, so
+    # the module-level import graph stays acyclic; workers pay the import
+    # once (fork shares the parent's already-loaded module anyway).
+    from repro.sketch.sharded import sketch_update_partial
+
+    data = _attach(payload["data"], opened)
+    edges = _attach(payload["edges"], opened)
+    weights = _attach(payload["weights"], opened)
+    level_coeffs = _attach(payload["level_coeffs"], opened)
+    row_coeffs = _attach(payload["row_coeffs"], opened)
+    bases = _attach(payload["bases"], opened)
+    return sketch_update_partial(
+        data,
+        edges,
+        weights,
+        vlo=payload["vlo"],
+        vhi=payload["vhi"],
+        n=payload["n"],
+        levels=payload["levels"],
+        cols=payload["cols"],
+        level_coeffs=level_coeffs,
+        row_coeffs=row_coeffs,
+        bases=bases,
+    )
+
+
 _WORKER_OPS = {
     "search": _op_search,
     "sort": _op_sort,
@@ -375,6 +402,7 @@ _WORKER_OPS = {
     "gather_incoming": _op_gather_incoming,
     "min_fold": _op_min_fold,
     "csr_min_fold": _op_csr_min_fold,
+    "sketch_update": _op_sketch_update,
 }
 
 
@@ -718,6 +746,21 @@ class ProcessBackend(ShardedBackend):
             )
         return merged
 
+    def persistent_lease(self, shape, dtype):
+        """A zero-initialised lease from the persistent arena.
+
+        The descriptor is cacheable, so pool workers attach the segment
+        once and keep the mapping — the residency contract the sharded
+        sketch builds on: shard partials live here, workers scatter into
+        them in place, and the parent reads the same memory at merge
+        time without ever copying a partial.  The caller owns the lease
+        (``release()`` returns the segment to the arena); leases survive
+        pool restarts because the parent owns the arena.
+        """
+        lease = self._persistent_arena().acquire(shape, dtype)
+        lease.view[...] = 0
+        return lease
+
     @contextlib.contextmanager
     def _op_buffers(self):
         """Shared-memory handout for one operation.
@@ -1033,6 +1076,59 @@ class ProcessBackend(ShardedBackend):
                 plans.append(steps)
             self._dispatch(plans)
             return out_labels.copy(), out_incoming.copy()
+
+    def _kernel_sketch_update(self, store, edges, weights) -> int:
+        """Scatter one update batch into the shm-resident shard partials.
+
+        Arena-backed stores dispatch one fused plan per worker — one
+        ``sketch_update`` step per owned shard — with the batch shared
+        transiently and the hash coefficient arrays pinned (uploaded
+        once, reused every batch).  Workers scatter straight into the
+        cached persistent-arena segments, so the parent copies zero
+        partial bytes; small batches (and non-arena stores) take the
+        serial kernel, which writes the very same shm views parent-side.
+        """
+        total_words = int(edges.size) + int(weights.size)
+        if (
+            store.kind != "arena"
+            or not self._use_pool(total_words)
+            or not self._shm_safe(edges, weights)
+        ):
+            return store.apply_serial(edges, weights)
+        params = store.params
+        shard_count = len(store.partials)
+        per_worker = math.ceil(shard_count / min(self.workers, shard_count))
+        with self._op_buffers() as buf:
+            edges_d = buf.share(edges)
+            weights_d = buf.share(weights)
+            level_d = buf.share(params["level_coeffs"])
+            row_d = buf.share(params["row_coeffs"])
+            bases_d = buf.share(params["bases"])
+            plans = []
+            for w in range(self.workers):
+                lo = w * per_worker
+                if lo >= shard_count:
+                    break
+                steps = []
+                for part in store.partials[lo : lo + per_worker]:
+                    steps.append(
+                        ("sketch_update", {
+                            "data": part.descriptor,
+                            "edges": edges_d,
+                            "weights": weights_d,
+                            "level_coeffs": level_d,
+                            "row_coeffs": row_d,
+                            "bases": bases_d,
+                            "vlo": part.vlo,
+                            "vhi": part.vhi,
+                            "n": params["n"],
+                            "levels": params["levels"],
+                            "cols": params["cols"],
+                        })
+                    )
+                plans.append(steps)
+            replies = self._dispatch(plans)
+        return sum(int(count) for reply in replies for count in reply)
 
     # -- reporting -----------------------------------------------------------
 

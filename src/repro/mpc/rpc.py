@@ -491,6 +491,74 @@ def _k_csr_min_fold(env: dict, step: dict) -> None:
     env[step["outputs"][0]] = out
 
 
+def _k_sketch_update(env: dict, step: dict) -> None:
+    """Wire kernel: scatter an update batch into a worker-resident sketch
+    partial.
+
+    The partial lives in the worker's persistent state dict (keyed by
+    sketch token × shard), created zeroed on first touch; the parent
+    never holds a copy.  Hash state arrives as coefficient arrays —
+    digest-deduped, so after the first frame only the batch ships.
+    """
+    # Lazy import keeps the module-level graph acyclic (sketch sits
+    # above the backend stack).
+    from repro.sketch.sharded import sketch_update_partial
+
+    params = step["params"]
+    state = env["__state__"]
+    key = (params["key"], params["shard"])
+    partial = state.get(key)
+    if partial is None:
+        partial = np.zeros(
+            (params["rounds"], 3, params["vhi"] - params["vlo"], params["cells"]),
+            dtype=np.int64,
+        )
+        state[key] = partial
+    edges, weights, level_coeffs, row_coeffs, bases = (
+        env[name] for name in step["inputs"]
+    )
+    applied = sketch_update_partial(
+        partial,
+        edges,
+        weights,
+        vlo=params["vlo"],
+        vhi=params["vhi"],
+        n=params["n"],
+        levels=params["levels"],
+        cols=params["cols"],
+        level_coeffs=level_coeffs,
+        row_coeffs=row_coeffs,
+        bases=bases,
+    )
+    env[step["outputs"][0]] = np.array([applied], dtype=np.int64)
+
+
+def _k_sketch_collect(env: dict, step: dict) -> None:
+    """Wire kernel: return a resident sketch partial for a decode-time
+    merge.
+
+    A shard no update frame ever touched is legitimately all-zero (the
+    parent guards against actual state loss with its pool-generation
+    residency check before dispatching), so a missing key materialises
+    zeros rather than failing.
+    """
+    params = step["params"]
+    partial = env["__state__"].get((params["key"], params["shard"]))
+    if partial is None:
+        partial = np.zeros(
+            (params["rounds"], 3, params["vhi"] - params["vlo"], params["cells"]),
+            dtype=np.int64,
+        )
+    env[step["outputs"][0]] = partial
+
+
+def _k_sketch_release(env: dict, step: dict) -> None:
+    """Wire kernel: drop a resident sketch partial (rebuilds and closes
+    evict their worker-side state so long-lived pools don't leak)."""
+    params = step["params"]
+    env["__state__"].pop((params["key"], params["shard"]), None)
+
+
 #: Step kernels a worker executes (op name → kernel).
 WIRE_KERNELS = {
     "search": _k_search,
@@ -499,6 +567,9 @@ WIRE_KERNELS = {
     "gather_incoming": _k_gather_incoming,
     "min_fold": _k_min_fold,
     "csr_min_fold": _k_csr_min_fold,
+    "sketch_update": _k_sketch_update,
+    "sketch_collect": _k_sketch_collect,
+    "sketch_release": _k_sketch_release,
 }
 
 
@@ -516,6 +587,10 @@ def _rpc_worker_main(path: str, worker_id: int) -> None:
         sock.connect(path)
         send_frame(sock, {"kind": "hello", "worker": worker_id})
         cache: "dict[str, np.ndarray]" = {}
+        # Persistent worker state across frames (worker-resident sketch
+        # partials); dies with the worker, which the parent detects via
+        # its pool-generation residency check.
+        state: dict = {}
         while True:
             frame = recv_frame(sock)
             if frame is None:
@@ -542,6 +617,7 @@ def _rpc_worker_main(path: str, worker_id: int) -> None:
                 cache.pop(digest, None)
             try:
                 env = unpack_arrays(header["arrays"], blob, cache)
+                env["__state__"] = state
                 for step in header["steps"]:
                     WIRE_KERNELS[step["op"]](env, step)
                 meta, out_blob, _ = pack_arrays(
@@ -1145,6 +1221,10 @@ class RpcBackend(ShardedBackend):
         self.cache_bytes = check_positive_int(cache_bytes, "cache_bytes")
         self._pool: "_RpcPool | None" = None
         self.workers_restarted = 0
+        # Monotonic pool identity: bumps on every (re)start, including
+        # explicit close(); worker-resident sketch stores snapshot it so
+        # partial loss is detected parent-side before any dispatch.
+        self._pool_generation = 0
         self._transport = dict.fromkeys(
             (
                 "op_frames",
@@ -1204,6 +1284,7 @@ class RpcBackend(ShardedBackend):
             )
             pool.start()
             self._pool = pool
+            self._pool_generation += 1
         return self._pool
 
     # -- reporting -----------------------------------------------------------
@@ -1532,6 +1613,154 @@ class RpcBackend(ShardedBackend):
                 lo, hi = label_blocks[w]
                 new_labels[lo:hi] = reply["folded"]
         return new_labels, incoming
+
+    # -- sketch residency (worker-resident partials) --------------------------
+
+    def sketch_residency(self) -> int:
+        """Start the pool if needed and return its generation stamp.
+
+        A :class:`~repro.sketch.sharded.SketchPartialStore` created
+        against this backend records the stamp; every later sketch op
+        re-checks it, so partials lost to a pool restart fail loudly
+        (typed :class:`RpcWorkerError`) instead of silently resetting.
+        """
+        self._ensure_pool()
+        return self._pool_generation
+
+    def _check_residency(self, store) -> None:
+        """Raise if ``store``'s resident partials predate the live pool."""
+        if store.residency != self._pool_generation:
+            raise RpcWorkerError(
+                "worker-resident sketch partials were lost to a pool "
+                "restart; rebuild the sketch"
+            )
+
+    def _sketch_assignment(self, store) -> "list[list[int]]":
+        """Shard indices per worker: contiguous blocks, same construction
+        as the process backend's shard-aligned position blocks."""
+        shard_count = len(store.partials)
+        per_worker = math.ceil(shard_count / min(self.workers, shard_count))
+        groups = []
+        for w in range(self.workers):
+            lo = w * per_worker
+            if lo >= shard_count:
+                break
+            groups.append(list(range(lo, min(shard_count, lo + per_worker))))
+        return groups
+
+    def _sketch_step_params(self, store, shard: int) -> dict:
+        params = store.params
+        part = store.partials[shard]
+        rows = int(params["row_coeffs"].shape[1])
+        return {
+            "key": store.token,
+            "shard": shard,
+            "vlo": part.vlo,
+            "vhi": part.vhi,
+            "n": params["n"],
+            "levels": params["levels"],
+            "cols": params["cols"],
+            "rounds": int(params["bases"].shape[0]),
+            "cells": params["levels"] * rows * params["cols"],
+        }
+
+    def _kernel_sketch_update(self, store, edges, weights) -> int:
+        """Ship one update batch to the worker-resident shard partials.
+
+        One frame per worker, one ``sketch_update`` step per owned
+        shard; the hash coefficient arrays ride along digest-deduped
+        (bare references after the first batch), so a warm stream ships
+        only the edges and weights.  Partials never cross the wire here
+        — only the per-shard applied counts come back.
+        """
+        if store.kind != "resident":
+            return super()._kernel_sketch_update(store, edges, weights)
+        pool = self._ensure_pool()
+        self._check_residency(store)
+        edges = np.ascontiguousarray(edges)
+        weights = np.ascontiguousarray(weights)
+        params = store.params
+        payloads = []
+        for group in self._sketch_assignment(store):
+            steps = []
+            returns = []
+            for shard in group:
+                out = f"applied_{shard}"
+                steps.append({
+                    "op": "sketch_update",
+                    "inputs": ["edges", "weights", "level_coeffs",
+                               "row_coeffs", "bases"],
+                    "outputs": [out],
+                    "params": self._sketch_step_params(store, shard),
+                })
+                returns.append(out)
+            payloads.append({
+                "steps": steps,
+                "arrays": {
+                    "edges": edges,
+                    "weights": weights,
+                    "level_coeffs": params["level_coeffs"],
+                    "row_coeffs": params["row_coeffs"],
+                    "bases": params["bases"],
+                },
+                "returns": returns,
+            })
+        replies = pool.barrier(self._pad(payloads))
+        return sum(
+            int(count[0]) for reply in replies for count in reply.values()
+        )
+
+    def _kernel_sketch_collect(self, store) -> "list[np.ndarray]":
+        """Fetch the worker-resident partials for a decode-time merge —
+        the one moment partial payloads cross the wire."""
+        if store.kind != "resident":
+            return super()._kernel_sketch_collect(store)
+        pool = self._ensure_pool()
+        self._check_residency(store)
+        payloads = []
+        for group in self._sketch_assignment(store):
+            steps = []
+            returns = []
+            for shard in group:
+                out = f"partial_{shard}"
+                steps.append({
+                    "op": "sketch_collect",
+                    "inputs": [],
+                    "outputs": [out],
+                    "params": self._sketch_step_params(store, shard),
+                })
+                returns.append(out)
+            payloads.append({"steps": steps, "arrays": {}, "returns": returns})
+        replies = pool.barrier(self._pad(payloads))
+        collected: "dict[int, np.ndarray]" = {}
+        for reply in replies:
+            for name, array in reply.items():
+                collected[int(name.rsplit("_", 1)[1])] = array
+        return [collected[i] for i in range(len(store.partials))]
+
+    def _kernel_sketch_release(self, store) -> None:
+        """Drop the worker-resident partials (best effort: a dead or
+        already-replaced pool has nothing left to release)."""
+        if store.kind != "resident" or self._pool is None:
+            return
+        if store.residency != self._pool_generation:
+            return
+        payloads = []
+        for group in self._sketch_assignment(store):
+            steps = [
+                {
+                    "op": "sketch_release",
+                    "inputs": [],
+                    "outputs": [],
+                    "params": {"key": store.token, "shard": shard},
+                }
+                for shard in group
+            ]
+            payloads.append({"steps": steps, "arrays": {}, "returns": []})
+        try:
+            self._pool.barrier(self._pad(payloads))
+        except RpcError:
+            pass
 
     def _pad(self, payloads: list) -> list:
         """Pad a payload list with ``None`` to the pool's worker count."""

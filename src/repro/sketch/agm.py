@@ -40,6 +40,49 @@ from repro.utils.validation import check_positive_int
 _P = np.uint64(MERSENNE_P)
 
 
+def _scatter_edge_updates(
+    flat_totals: np.ndarray,
+    flat_moments: np.ndarray,
+    flat_fingers: np.ndarray,
+    owners: np.ndarray,
+    ids: np.ndarray,
+    signed: np.ndarray,
+    finger_contrib: np.ndarray,
+    depth: np.ndarray,
+    row_hashes,
+    levels: int,
+    rows: int,
+    cols: int,
+) -> None:
+    """One fused ``np.add.at`` pass per counter array.
+
+    Every incidence update lands on levels ``0..depth`` of every hash
+    row, so the (update, level, row) triples expand into a single flat
+    index array and each counter takes exactly one scatter.  int64
+    addition wraps with C semantics (commutative + associative), so the
+    result is bit-identical to any per-level/per-row scatter order over
+    the same contribution multiset — which is also why shard partials of
+    disjoint update sets sum back to the monolithic arrays exactly.
+    """
+    counts = depth.astype(np.int64) + 1
+    m = ids.shape[0]
+    rep = np.repeat(np.arange(m, dtype=np.int64), counts)
+    offsets = np.cumsum(counts) - counts
+    lvl = np.arange(rep.shape[0], dtype=np.int64) - offsets[rep]
+    col = np.stack(
+        [
+            (hasher.values(ids) % np.uint64(cols)).astype(np.int64)
+            for hasher in row_hashes
+        ]
+    )
+    base = owners[rep] * (levels * rows * cols) + lvl * (rows * cols)
+    row_offsets = np.arange(rows, dtype=np.int64) * cols
+    flat_index = (base[:, None] + row_offsets[None, :] + col[:, rep].T).reshape(-1)
+    np.add.at(flat_totals, flat_index, np.repeat(signed[rep], rows))
+    np.add.at(flat_moments, flat_index, np.repeat((signed * ids)[rep], rows))
+    np.add.at(flat_fingers, flat_index, np.repeat(finger_contrib[rep], rows))
+
+
 @dataclass
 class RoundSketch:
     """All vertices' L0 sketches for one Borůvka round.
@@ -113,25 +156,93 @@ class RoundSketch:
         ).astype(np.int64)
         finger_contrib = ((signed % MERSENNE_P) * powers) % MERSENNE_P
 
-        flat_totals = self.totals.reshape(-1)
-        flat_moments = self.moments.reshape(-1)
-        flat_fingers = self.fingers.reshape(-1)
-        for row_index, hasher in enumerate(self.row_hashes):
-            col = (hasher.values(ids) % np.uint64(cols)).astype(np.int64)
-            for lvl in range(levels):
-                mask = depth >= lvl
-                if not mask.any():
-                    continue
-                flat_index = (
-                    owners[mask] * (levels * rows * cols)
-                    + lvl * (rows * cols)
-                    + row_index * cols
-                    + col[mask]
-                )
-                np.add.at(flat_totals, flat_index, signed[mask])
-                np.add.at(flat_moments, flat_index, signed[mask] * ids[mask])
-                np.add.at(flat_fingers, flat_index, finger_contrib[mask])
+        _scatter_edge_updates(
+            self.totals.reshape(-1),
+            self.moments.reshape(-1),
+            self.fingers.reshape(-1),
+            owners,
+            ids,
+            signed,
+            finger_contrib,
+            depth,
+            self.row_hashes,
+            levels,
+            rows,
+            cols,
+        )
         self.fingers %= MERSENNE_P
+
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """The shared randomness + geometry of one Borůvka round sketch.
+
+    A spec is everything about a :class:`RoundSketch` *except* its
+    counter arrays: the hash seeds (the "polylog(n) shared random bits"
+    of Prop. 8.1) plus the derived ``levels × rows × cols`` geometry.
+    Separating the draw from the allocation is what lets
+    :class:`~repro.sketch.sharded.ShardedAGMSketch` allocate per-shard
+    partial arrays against the *same* randomness a monolithic
+    :class:`AGMSketch` would have drawn — the precondition for
+    bit-identical merges.
+    """
+
+    n: int
+    universe: int
+    levels: int
+    rows: int
+    cols: int
+    level_hash: KWiseHash
+    row_hashes: "tuple[KWiseHash, ...]"
+    fingerprint_base: int
+
+    @classmethod
+    def draw(cls, n: int, rng, *, sparsity: int, rows: int) -> "RoundSpec":
+        """Draw one round's shared randomness (RNG consumption order is
+        part of the contract: level hash, then ``rows`` row hashes, then
+        the fingerprint base)."""
+        rng = ensure_rng(rng)
+        universe = n * n
+        if universe >= MERSENNE_P:
+            raise ValueError(
+                f"edge universe {universe} exceeds the hash field; "
+                f"AGM sketches here support n <= {int(MERSENNE_P**0.5)}"
+            )
+        levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
+        cols = 2 * sparsity
+        level_hash = KWiseHash(2, rng)
+        row_hashes = tuple(KWiseHash(2, rng) for _ in range(rows))
+        fingerprint_base = int(rng.integers(2, MERSENNE_P - 1))
+        return cls(
+            n=n,
+            universe=universe,
+            levels=levels,
+            rows=rows,
+            cols=cols,
+            level_hash=level_hash,
+            row_hashes=row_hashes,
+            fingerprint_base=fingerprint_base,
+        )
+
+    @property
+    def cells(self) -> int:
+        """Counter cells per vertex (``levels * rows * cols``)."""
+        return self.levels * self.rows * self.cols
+
+    def empty_round(self) -> RoundSketch:
+        """Allocate a zeroed :class:`RoundSketch` with this spec's
+        randomness."""
+        shape = (self.n, self.levels, self.rows, self.cols)
+        return RoundSketch(
+            n=self.n,
+            universe=self.universe,
+            level_hash=self.level_hash,
+            row_hashes=list(self.row_hashes),
+            fingerprint_base=self.fingerprint_base,
+            totals=np.zeros(shape, dtype=np.int64),
+            moments=np.zeros(shape, dtype=np.int64),
+            fingers=np.zeros(shape, dtype=np.int64),
+        )
 
 
 def _empty_round_sketch(
@@ -141,29 +252,7 @@ def _empty_round_sketch(
     sparsity: int,
     rows: int,
 ) -> RoundSketch:
-    rng = ensure_rng(rng)
-    universe = n * n
-    if universe >= MERSENNE_P:
-        raise ValueError(
-            f"edge universe {universe} exceeds the hash field; "
-            f"AGM sketches here support n <= {int(MERSENNE_P**0.5)}"
-        )
-    levels = max(1, int(np.ceil(np.log2(max(universe, 2)))) + 1)
-    cols = 2 * sparsity
-    level_hash = KWiseHash(2, rng)
-    row_hashes = [KWiseHash(2, rng) for _ in range(rows)]
-    fingerprint_base = int(rng.integers(2, MERSENNE_P - 1))
-
-    return RoundSketch(
-        n=n,
-        universe=universe,
-        level_hash=level_hash,
-        row_hashes=row_hashes,
-        fingerprint_base=fingerprint_base,
-        totals=np.zeros((n, levels, rows, cols), dtype=np.int64),
-        moments=np.zeros((n, levels, rows, cols), dtype=np.int64),
-        fingers=np.zeros((n, levels, rows, cols), dtype=np.int64),
-    )
+    return RoundSpec.draw(n, rng, sparsity=sparsity, rows=rows).empty_round()
 
 
 @dataclass

@@ -33,7 +33,9 @@ import numpy as np
 from repro.core.pipeline import PipelineConfig, mpc_connected_components
 from repro.graph.components import canonical_labels
 from repro.graph.graph import Graph
+from repro.mpc.backends import make_backend
 from repro.sketch.agm import AGMSketch, agm_decode_components
+from repro.sketch.sharded import SKETCH_STATS_ZERO, ShardedAGMSketch, SketchStats
 from repro.streaming.events import EventBatch
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive_int
@@ -41,7 +43,13 @@ from repro.utils.validation import check_positive_int
 
 @dataclass
 class StreamingStats:
-    """Counters describing how a :class:`StreamingConnectivity` ran."""
+    """Counters describing how a :class:`StreamingConnectivity` ran.
+
+    ``sketch`` is the live :class:`~repro.sketch.sharded.SketchStats` of
+    a sharded-ingest structure (``None`` for monolithic ingest); the
+    JSON snapshot always carries the block, zero-filled when absent, so
+    consumers see one schema.
+    """
 
     batches_applied: int = 0
     events_applied: int = 0
@@ -51,6 +59,7 @@ class StreamingStats:
     full_recomputes: int = 0
     sketch_rebuilds: int = 0
     oracle_rounds: int = 0
+    sketch: "SketchStats | None" = None
     extra: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
@@ -64,6 +73,11 @@ class StreamingStats:
             "full_recomputes": self.full_recomputes,
             "sketch_rebuilds": self.sketch_rebuilds,
             "oracle_rounds": self.oracle_rounds,
+            "sketch": (
+                self.sketch.to_json()
+                if self.sketch is not None
+                else dict(SKETCH_STATS_ZERO)
+            ),
         }
 
 
@@ -93,6 +107,18 @@ class StreamingConnectivity:
         health; ``None`` recomputes only on decode failure.
     sparsity, rows, boruvka_rounds:
         Sketch shape knobs, forwarded to :meth:`AGMSketch.empty`.
+    sketch_shards:
+        ``None`` (default) maintains one monolithic
+        :class:`~repro.sketch.AGMSketch` exactly as before.  A positive
+        int switches ingest to a
+        :class:`~repro.sketch.sharded.ShardedAGMSketch` with that many
+        owner-vertex shards, updated through the ``backend`` spec's
+        ingest seam and merged (by linearity) only at decode time.
+    workers:
+        Worker count for an *owned* ingest backend built from a string
+        ``backend`` spec (``"process"``/``"rpc"``); ignored for specs
+        without a worker pool and for backend instances (already
+        configured).  Only meaningful with ``sketch_shards``.
     """
 
     def __init__(
@@ -108,6 +134,8 @@ class StreamingConnectivity:
         sparsity: int = 4,
         rows: int = 3,
         boruvka_rounds: "int | None" = None,
+        sketch_shards: "int | None" = None,
+        workers: "int | None" = None,
     ):
         self.n = check_positive_int(n, "n")
         self._rng = ensure_rng(rng)
@@ -121,13 +149,49 @@ class StreamingConnectivity:
         self._sketch_shape = dict(
             sparsity=sparsity, rows=rows, boruvka_rounds=boruvka_rounds
         )
-        self._sketch = AGMSketch.empty(n, self._rng, **self._sketch_shape)
+        if sketch_shards is not None:
+            sketch_shards = check_positive_int(sketch_shards, "sketch_shards")
+        self._sketch_shards = sketch_shards
+        if workers is not None:
+            workers = check_positive_int(workers, "workers")
+        self._workers = workers
+        self._ingest_backend = None
+        self._owns_ingest_backend = False
+        if sketch_shards is not None:
+            if isinstance(backend, str):
+                options = (
+                    {"workers": workers}
+                    if workers is not None and backend in ("process", "rpc")
+                    else {}
+                )
+                self._ingest_backend = make_backend(backend, **options)
+                self._owns_ingest_backend = True
+            else:
+                self._ingest_backend = make_backend(backend)
+        self._sketch_stats = SketchStats()
+        self._sketch_dirty = False
+        self._sketch = self._new_sketch()
         self._multiplicity: "dict[int, int]" = {}
         self._batches_since_recompute = 0
         self._cached_labels: "np.ndarray | None" = canonical_labels(
             np.arange(n, dtype=np.int64)
         )
-        self.stats = StreamingStats()
+        self.stats = StreamingStats(
+            sketch=self._sketch_stats if sketch_shards is not None else None
+        )
+
+    def _new_sketch(self):
+        """Fresh sketch over fresh randomness, monolithic or sharded."""
+        if self._sketch_shards is None:
+            return AGMSketch.empty(self.n, self._rng, **self._sketch_shape)
+        return ShardedAGMSketch.empty(
+            self.n,
+            self._rng,
+            shards=self._sketch_shards,
+            backend=self._ingest_backend,
+            stats=self._sketch_stats,
+            **self._sketch_shape,
+        )
 
     # -- updates -------------------------------------------------------------
 
@@ -139,7 +203,7 @@ class StreamingConnectivity:
         raises :class:`ValueError` and nothing is mutated.
         """
         edges = batch.edges
-        if edges.size and edges.max() >= self.n:
+        if edges.size and (edges.min() < 0 or edges.max() >= self.n):
             raise ValueError(f"edge endpoint out of range [0, {self.n})")
         lo = np.minimum(edges[:, 0], edges[:, 1])
         hi = np.maximum(edges[:, 0], edges[:, 1])
@@ -147,19 +211,32 @@ class StreamingConnectivity:
         unique_ids, inverse = np.unique(edge_ids, return_inverse=True)
         deltas = np.zeros(unique_ids.shape[0], dtype=np.int64)
         np.add.at(deltas, inverse, batch.weights)
-        for edge_id, delta in zip(unique_ids.tolist(), deltas.tolist()):
-            if self._multiplicity.get(edge_id, 0) + delta < 0:
-                u, v = divmod(edge_id, self.n)
-                raise ValueError(
-                    f"batch would delete edge ({u}, {v}) below multiplicity 0"
-                )
-        for edge_id, delta in zip(unique_ids.tolist(), deltas.tolist()):
-            new = self._multiplicity.get(edge_id, 0) + delta
-            if new:
-                self._multiplicity[edge_id] = new
+        current = np.fromiter(
+            (self._multiplicity.get(edge_id, 0) for edge_id in unique_ids.tolist()),
+            dtype=np.int64,
+            count=unique_ids.shape[0],
+        )
+        negative = deltas < -current
+        if negative.any():
+            edge_id = int(unique_ids[np.flatnonzero(negative)[0]])
+            u, v = divmod(edge_id, self.n)
+            raise ValueError(
+                f"batch would delete edge ({u}, {v}) below multiplicity 0"
+            )
+        # Sketch before multiset: the sketch update is the only step that
+        # can still fail (a parallel backend can die mid-batch), and on
+        # failure the multiset must keep describing the last good prefix.
+        try:
+            self._sketch.update_edges(edges, batch.weights)
+        except Exception:
+            self._sketch_dirty = True
+            raise
+        updated = current + deltas
+        for edge_id, value in zip(unique_ids.tolist(), updated.tolist()):
+            if value:
+                self._multiplicity[edge_id] = value
             else:
                 self._multiplicity.pop(edge_id, None)
-        self._sketch.update_edges(edges, batch.weights)
         self.stats.batches_applied += 1
         self.stats.events_applied += batch.size
         self._batches_since_recompute += 1
@@ -229,9 +306,20 @@ class StreamingConnectivity:
         ):
             self.stats.scheduled_recomputes += 1
             labels = self._full_recompute()
+        elif self._sketch_dirty:
+            # A backend failure interrupted an ingest batch, so the sketch
+            # may hold a partially applied update — never decode it.
+            self.stats.decode_failures += 1
+            labels = self._full_recompute()
         else:
             try:
-                labels = agm_decode_components(self._sketch)
+                # merge() is inside the try: for a sharded sketch it is the
+                # point where worker-resident partials are collected, so a
+                # lost pool surfaces here as a RuntimeError and falls back.
+                sketch = self._sketch
+                if isinstance(sketch, ShardedAGMSketch):
+                    sketch = sketch.merge()
+                labels = agm_decode_components(sketch)
                 self.stats.sketch_queries += 1
             except RuntimeError:
                 self.stats.decode_failures += 1
@@ -282,8 +370,29 @@ class StreamingConnectivity:
 
     def _rebuild_sketch(self) -> None:
         """Fresh-randomness sketch rebuilt from the live multiset."""
-        self._sketch = AGMSketch.empty(self.n, self._rng, **self._sketch_shape)
+        old = self._sketch
+        if isinstance(old, ShardedAGMSketch):
+            old.close()
+        self._sketch = self._new_sketch()
+        self._sketch_dirty = False
         graph = self.current_graph()
         if graph.m:
             self._sketch.update_edges(graph.edges)
         self.stats.sketch_rebuilds += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release sketch partials and any ingest backend this object owns.
+
+        Only needed for sharded ingest (worker-resident or arena-backed
+        partials); a monolithic structure holds nothing to release.
+        Idempotent.  A later query falls back to the oracle, which
+        rebuilds the sketch (restarting owned pools if needed).
+        """
+        sketch = self._sketch
+        if isinstance(sketch, ShardedAGMSketch):
+            self._sketch_dirty = True
+            sketch.close()
+        if self._owns_ingest_backend and self._ingest_backend is not None:
+            self._ingest_backend.close()

@@ -105,6 +105,25 @@ class TestStreamingConnectivity:
         with pytest.raises(ValueError, match="out of range"):
             conn.apply(EventBatch.insert([[0, 7]]))
 
+    def test_negative_endpoint_rejected_atomically(self):
+        # Regression: a negative endpoint passes a max()-only bound check,
+        # so the multiset used to mutate before the sketch update raised.
+        # Both bounds are validated up front now; nothing may change.
+        conn = StreamingConnectivity(4, rng=6)
+        conn.apply_edges([[0, 1]])
+        before = conn.query()
+        sketch_before = [r.totals.copy() for r in conn._sketch.rounds]
+        batch = EventBatch.insert([[1, 2], [2, 3]])
+        batch.edges[0, 0] = -1  # bypass EventBatch construction checks
+        with pytest.raises(ValueError, match="out of range"):
+            conn.apply(batch)
+        assert conn.edge_count == 1
+        assert conn._multiplicity == {0 * 4 + 1: 1}
+        for round_sketch, totals in zip(conn._sketch.rounds, sketch_before):
+            assert np.array_equal(round_sketch.totals, totals)
+        assert np.array_equal(conn.query(), before)
+        assert conn.stats.batches_applied == 1
+
     def test_current_graph_round_trips_multiset(self):
         conn = StreamingConnectivity(6, rng=7)
         conn.apply_edges([[0, 5], [0, 5], [2, 3]])
@@ -183,7 +202,56 @@ class TestStreamingConnectivity:
             "full_recomputes",
             "sketch_rebuilds",
             "oracle_rounds",
+            "sketch",
         }
+        # Monolithic ingest still carries the sketch block, zero-filled.
+        assert snapshot["sketch"] == {
+            "shard_updates": 0,
+            "merges": 0,
+            "partial_words": 0,
+        }
+
+    def test_sharded_ingest_matches_monolithic(self):
+        events = [
+            ([[0, 1], [1, 2], [3, 4]], [1, 1, 1]),
+            ([[1, 2], [2, 3]], [-1, 1]),
+            ([[0, 1]], [-1]),
+        ]
+
+        def run(**kwargs):
+            conn = StreamingConnectivity(6, rng=9, **kwargs)
+            labels = []
+            for edges, weights in events:
+                conn.apply_edges(edges, weights)
+                labels.append(conn.query())
+            stats = conn.stats.to_json()
+            conn.close()
+            return labels, stats
+
+        base, _ = run()
+        labels, stats = run(sketch_shards=3)
+        for mono, sharded in zip(base, labels):
+            assert np.array_equal(mono, sharded)
+        assert stats["sketch"]["shard_updates"] == 9  # 3 shards x 3 batches
+        assert stats["sketch"]["merges"] == 3  # one decode per query
+        assert stats["sketch"]["partial_words"] > 0
+
+    def test_close_is_idempotent_and_query_recovers(self):
+        conn = StreamingConnectivity(5, rng=10, sketch_shards=2)
+        conn.apply_edges([[0, 1], [2, 3]])
+        expected = conn.query()
+        conn.close()
+        conn.close()
+        # After close the sketch is gone; the next uncached query falls
+        # back to the oracle, which rebuilds a fresh sketch from the
+        # multiset — the structure stays usable.
+        conn._cached_labels = None
+        assert np.array_equal(conn.query(), expected)
+        assert conn.stats.decode_failures >= 1
+        conn.apply_edges([[3, 4]])
+        labels = conn.query()
+        assert labels[3] == labels[4]
+        conn.close()
 
 
 class TestStreamWorkloads:
